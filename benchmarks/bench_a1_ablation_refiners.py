@@ -1,0 +1,31 @@
+"""A1 — Ablation: refinement strategy.
+
+Compares the two refiners on the same programs: outcome, number of
+refinements and number of predicates.  This quantifies the paper's core
+claim — generalising counterexamples to path programs is what makes the
+loop-coupling programs provable.
+"""
+
+import pytest
+
+from common import record, run_once
+from repro.core import Verdict, verify
+from repro.lang import get_program
+
+PROGRAMS_UNDER_TEST = ["forward", "double_counter", "lock_step"]
+
+
+@pytest.mark.parametrize("name", PROGRAMS_UNDER_TEST)
+@pytest.mark.parametrize("refiner", ["path-invariant", "path-formula"])
+def test_refiner_ablation(benchmark, name, refiner):
+    result = run_once(benchmark, verify, get_program(name), refiner=refiner, max_refinements=3)
+    record(
+        benchmark,
+        verdict=result.verdict,
+        refinements=result.num_refinements,
+        predicates=result.total_predicates(),
+    )
+    if refiner == "path-invariant":
+        assert result.verdict == Verdict.SAFE
+    else:
+        assert result.verdict != Verdict.SAFE

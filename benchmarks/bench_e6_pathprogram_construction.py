@@ -1,0 +1,55 @@
+"""E6 — Figure 4 / Section 3: path-program construction.
+
+The paper works through a two-nested-loops error path and lists the complete
+transition set of its path program (seven path transitions, the hatted copy
+of the inner block at position 3, and the hatted copy of the outer block at
+position 6 — 17 transitions in total, counting the X'=X bridges).  This
+benchmark rebuilds that object and measures construction on the paper's
+example and on the benchmark programs.
+"""
+
+import pytest
+
+from common import first_counterexample, record, run_once
+from repro.core import build_path_program, nested_blocks
+from repro.lang import get_program
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests", "core"))
+from test_core import figure4_program_and_path  # noqa: E402
+
+
+def test_figure4_path_program(benchmark):
+    program, path = figure4_program_and_path()
+    path_program = run_once(benchmark, build_path_program, program, path)
+    blocks = path_program.blocks
+    record(
+        benchmark,
+        transitions=len(path_program.program.transitions),
+        blocks=[str(b) for b in blocks],
+    )
+    assert len(path_program.program.transitions) == 17
+    assert len(blocks) == 2
+    assert {frozenset(l.name for l in b.locations) for b in blocks} == {
+        frozenset({"l0", "l1", "l2"}),
+        frozenset({"l1", "l2"}),
+    }
+
+
+def test_forward_path_program_construction(benchmark):
+    program = get_program("forward")
+
+    def construct():
+        path = first_counterexample(program)
+        return build_path_program(program, path)
+
+    path_program = run_once(benchmark, construct)
+    record(
+        benchmark,
+        path_length=len(path_program.path),
+        transitions=len(path_program.program.transitions),
+        locations=len(path_program.program.locations),
+    )
+    assert path_program.program.transitions

@@ -1,0 +1,49 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_e*.py`` module reproduces one artifact of the paper's evaluation
+(see DESIGN.md section 3 and EXPERIMENTS.md for the mapping).  The benchmarks
+use pytest-benchmark in *pedantic* mode with a single round, because a single
+CEGAR run already takes seconds and the quantity of interest is the shape of
+the result (who proves what, with how many refinements), not micro-timings.
+"""
+
+from __future__ import annotations
+
+from repro.core import AbstractReachability, Precision, build_path_program
+from repro.lang import get_program
+from repro.smt.vcgen import VcChecker
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def first_counterexample(program, precision=None, checker=None):
+    """The first abstract counterexample under the given precision."""
+    checker = checker or VcChecker()
+    outcome = AbstractReachability(program, checker).run(precision or Precision())
+    assert outcome.counterexample is not None
+    return outcome.counterexample
+
+
+def looping_counterexample(program, refiner, checker=None, max_rounds=4):
+    """Refine until the abstract counterexample traverses a loop, and return it."""
+    checker = checker or VcChecker()
+    precision = Precision()
+    reach = AbstractReachability(program, checker)
+    for _ in range(max_rounds):
+        outcome = reach.run(precision)
+        assert outcome.counterexample is not None
+        path = outcome.counterexample
+        visited = [path[0].source] + [t.target for t in path]
+        if len(set(visited)) < len(visited):
+            return path, precision
+        refiner.refine(program, path, precision)
+    raise AssertionError("no looping counterexample found")
+
+
+def record(benchmark, **info):
+    """Attach experiment outcomes to the benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,6 @@
+"""Make the shared helpers importable when running from the repository root."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,16 @@
+"""Legacy setup shim (the environment has no `wheel` package, so the
+PEP 517 editable-install path is unavailable; this enables `pip install -e .`
+via the classic setuptools develop mode)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Path Invariants: CEGAR with path programs and constraint-based "
+        "invariant synthesis (PLDI 2007 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

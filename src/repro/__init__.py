@@ -1,0 +1,29 @@
+"""Path Invariants — a reproduction of Beyer, Henzinger, Majumdar, Rybalchenko (PLDI 2007).
+
+The top-level package re-exports the public API:
+
+* :func:`repro.verify` — verify the assertions of a mini-C program with CEGAR,
+  using path programs and path invariants for abstraction refinement;
+* :mod:`repro.lang` — the mini-C front end and the built-in benchmark suite;
+* :mod:`repro.core` — path programs, predicate abstraction, CEGAR;
+* :mod:`repro.invgen` — constraint-based invariant synthesis (templates,
+  Farkas engine, quantified array invariants);
+* :mod:`repro.smt` — the exact decision procedures everything is built on.
+"""
+
+from .core.verifier import verify
+from .core.cegar import CegarResult, Verdict
+from .lang.programs import PROGRAMS, get_program, get_source, list_programs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "verify",
+    "CegarResult",
+    "Verdict",
+    "PROGRAMS",
+    "get_program",
+    "get_source",
+    "list_programs",
+    "__version__",
+]

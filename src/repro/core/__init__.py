@@ -1,0 +1,38 @@
+"""The paper's contribution: path programs, path invariants, CEGAR."""
+
+from .pathprogram import Block, PathProgram, build_path_program, nested_blocks
+from .predabs import AbstractReachability, ArtNode, Precision, ReachabilityOutcome
+from .cex import CounterexampleAnalysis, analyze_counterexample, path_commands
+from .refiners import (
+    PathFormulaRefiner,
+    PathInvariantRefiner,
+    RefinementOutcome,
+    Refiner,
+)
+from .cegar import CegarLoop, CegarResult, IterationRecord, Verdict
+from .verifier import REFINER_NAMES, make_refiner, verify
+
+__all__ = [
+    "Block",
+    "PathProgram",
+    "build_path_program",
+    "nested_blocks",
+    "AbstractReachability",
+    "ArtNode",
+    "Precision",
+    "ReachabilityOutcome",
+    "CounterexampleAnalysis",
+    "analyze_counterexample",
+    "path_commands",
+    "PathFormulaRefiner",
+    "PathInvariantRefiner",
+    "RefinementOutcome",
+    "Refiner",
+    "CegarLoop",
+    "CegarResult",
+    "IterationRecord",
+    "Verdict",
+    "REFINER_NAMES",
+    "make_refiner",
+    "verify",
+]

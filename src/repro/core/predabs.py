@@ -1,0 +1,192 @@
+"""Cartesian predicate abstraction and abstract reachability (Section 4.1).
+
+The abstract-reachability phase of CEGAR unwinds the CFG into an abstract
+reachability tree (ART).  Each node carries a location and an abstract state,
+which here is the set of tracked predicates (from the location-indexed
+precision ``Pi``) that are known to hold.  The abstract post operator is
+Cartesian: each predicate of the target location is kept iff it is implied by
+the source state and the transition relation, decided by the exact VC
+checker.  Transitions whose source state contradicts their guard are pruned.
+
+The predicates produced by path-invariant refinement are conjunctive per
+location, so Cartesian abstraction is precise enough to reconstruct the
+safety proofs of the paper's examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..lang.cfg import Location, Program, Transition
+from ..lang.commands import command_writes
+from ..logic.formulas import FALSE, Formula, TRUE, conjoin
+from ..smt.vcgen import VcChecker
+
+__all__ = ["Precision", "ArtNode", "AbstractReachability", "ReachabilityOutcome"]
+
+
+class Precision:
+    """Location-indexed predicate sets (the abstraction ``Pi`` of the paper)."""
+
+    def __init__(self) -> None:
+        self._predicates: dict[Location, set[Formula]] = {}
+
+    def predicates_at(self, location: Location) -> frozenset[Formula]:
+        return frozenset(self._predicates.get(location, set()))
+
+    def add(self, location: Location, predicate: Formula) -> bool:
+        """Add a predicate; returns True when it is new."""
+        if predicate in (TRUE, FALSE):
+            return False
+        existing = self._predicates.setdefault(location, set())
+        if predicate in existing:
+            return False
+        existing.add(predicate)
+        return True
+
+    def add_all(self, location: Location, predicates: Iterable[Formula]) -> int:
+        return sum(1 for predicate in predicates if self.add(location, predicate))
+
+    def total_predicates(self) -> int:
+        return sum(len(preds) for preds in self._predicates.values())
+
+    def locations(self) -> list[Location]:
+        return sorted(self._predicates, key=lambda l: l.name)
+
+    def copy(self) -> "Precision":
+        clone = Precision()
+        for location, predicates in self._predicates.items():
+            clone._predicates[location] = set(predicates)
+        return clone
+
+    def __str__(self) -> str:
+        lines = []
+        for location in self.locations():
+            rendered = ", ".join(sorted(str(p) for p in self._predicates[location]))
+            lines.append(f"  Pi({location}) = {{ {rendered} }}")
+        return "\n".join(lines) or "  (no predicates)"
+
+
+@dataclass
+class ArtNode:
+    """A node of the abstract reachability tree."""
+
+    location: Location
+    state: frozenset[Formula]
+    parent: Optional["ArtNode"] = None
+    incoming: Optional[Transition] = None
+    node_id: int = 0
+    covered_by: Optional["ArtNode"] = None
+
+    def state_formula(self) -> Formula:
+        return conjoin(sorted(self.state, key=str))
+
+    def path_from_root(self) -> list[Transition]:
+        transitions: list[Transition] = []
+        node: Optional[ArtNode] = self
+        while node is not None and node.incoming is not None:
+            transitions.append(node.incoming)
+            node = node.parent
+        transitions.reverse()
+        return transitions
+
+
+@dataclass
+class ReachabilityOutcome:
+    """Result of one abstract-reachability run."""
+
+    #: None when the error location is unreachable in the abstraction.
+    counterexample: Optional[list[Transition]]
+    nodes_expanded: int
+    nodes_created: int
+    exhausted: bool = False  # True when the node budget was hit
+
+    @property
+    def is_safe(self) -> bool:
+        return self.counterexample is None and not self.exhausted
+
+
+class AbstractReachability:
+    """Builds the abstract reachability tree under a given precision."""
+
+    def __init__(
+        self,
+        program: Program,
+        checker: Optional[VcChecker] = None,
+        max_nodes: int = 4000,
+    ) -> None:
+        self.program = program
+        self.checker = checker or VcChecker()
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------
+    def run(self, precision: Precision) -> ReachabilityOutcome:
+        """Breadth-first abstract reachability from the initial location."""
+        root = ArtNode(self.program.initial, frozenset(), node_id=0)
+        worklist: list[ArtNode] = [root]
+        reached: dict[Location, list[ArtNode]] = {self.program.initial: [root]}
+        created = 1
+        expanded = 0
+
+        index = 0
+        while index < len(worklist):
+            node = worklist[index]
+            index += 1
+            if node.covered_by is not None:
+                continue
+            expanded += 1
+            for transition in self.program.outgoing(node.location):
+                successor_state = self.abstract_post(node, transition, precision)
+                if successor_state is None:
+                    continue  # the edge is infeasible from this abstract state
+                child = ArtNode(
+                    transition.target,
+                    successor_state,
+                    parent=node,
+                    incoming=transition,
+                    node_id=created,
+                )
+                created += 1
+                if child.location == self.program.error:
+                    return ReachabilityOutcome(child.path_from_root(), expanded, created)
+                if self._is_covered(child, reached):
+                    child.covered_by = child  # marker; the node is not expanded
+                    continue
+                reached.setdefault(child.location, []).append(child)
+                worklist.append(child)
+                if created > self.max_nodes:
+                    return ReachabilityOutcome(None, expanded, created, exhausted=True)
+        return ReachabilityOutcome(None, expanded, created)
+
+    # ------------------------------------------------------------------
+    def abstract_post(
+        self, node: ArtNode, transition: Transition, precision: Precision
+    ) -> Optional[frozenset[Formula]]:
+        """Cartesian abstract post; ``None`` when the edge is locally infeasible."""
+        pre = node.state_formula()
+        if self.checker.check_triple(pre, transition.commands, FALSE):
+            return None
+        written: set[str] = set()
+        for command in transition.commands:
+            written |= command_writes(command)
+        successors: set[Formula] = set()
+        for predicate in precision.predicates_at(transition.target):
+            # Frame rule shortcut: a predicate that already holds and whose
+            # variables/arrays are untouched by the transition keeps holding.
+            if predicate in node.state:
+                touched = {v.name for v in predicate.variables()} | predicate.arrays()
+                if not touched & written:
+                    successors.add(predicate)
+                    continue
+            if self.checker.check_triple(pre, transition.commands, predicate):
+                successors.add(predicate)
+        return frozenset(successors)
+
+    @staticmethod
+    def _is_covered(node: ArtNode, reached: dict[Location, list[ArtNode]]) -> bool:
+        """A node is covered by an existing node with a weaker abstract state."""
+        for other in reached.get(node.location, []):
+            if other.covered_by is None and other.state.issubset(node.state):
+                return True
+        return False

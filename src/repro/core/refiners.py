@@ -1,0 +1,205 @@
+"""Abstraction refinement strategies.
+
+Two refiners are provided:
+
+* :class:`PathFormulaRefiner` — the baseline the paper argues against.  It
+  derives new predicates from the infeasible path itself: atoms of the guards
+  along the path plus the constant valuations obtained by propagating the
+  assignments of the path ("a possible set of such predicates is
+  ``{i=0, i=1, a=0, a=1, b=0, b=2}``", Section 2.1).  Each refinement
+  eliminates the current counterexample, but loops are unrolled one
+  counterexample at a time, so the loop diverges on FORWARD/INITCHECK.
+
+* :class:`PathInvariantRefiner` — the paper's contribution.  The infeasible
+  path is generalised to its path program, the path-invariant synthesizer
+  computes an inductive safe invariant map for it, and the per-location
+  assertions of the map become the new predicates.  One refinement removes
+  every counterexample that stays within the path program (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..lang.cfg import Location, Program, Transition
+from ..lang.commands import ArrayAssign, Assign, Assume, Command, Havoc, Skip
+from ..logic.formulas import Atom, Formula, Relation, conjuncts, eq
+from ..logic.terms import LinExpr, Var
+from ..invgen.synthesize import PathInvariantSynthesizer, SynthesisOptions, SynthesisResult
+from ..smt.vcgen import VcChecker
+from .pathprogram import PathProgram, build_path_program
+from .predabs import Precision
+
+__all__ = [
+    "RefinementOutcome",
+    "Refiner",
+    "PathFormulaRefiner",
+    "PathInvariantRefiner",
+]
+
+
+@dataclass
+class RefinementOutcome:
+    """New predicates discovered by a refinement step."""
+
+    progress: bool
+    new_predicates: int = 0
+    description: str = ""
+    path_program: Optional[PathProgram] = None
+    synthesis: Optional[SynthesisResult] = None
+
+
+class Refiner:
+    """Interface of refinement strategies."""
+
+    name = "abstract"
+
+    def refine(
+        self, program: Program, path: Sequence[Transition], precision: Precision
+    ) -> RefinementOutcome:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Baseline: predicates from the finite path
+# ----------------------------------------------------------------------
+class PathFormulaRefiner(Refiner):
+    """Classic CEGAR refinement from the path formula of the counterexample."""
+
+    name = "path-formula"
+
+    def refine(
+        self, program: Program, path: Sequence[Transition], precision: Precision
+    ) -> RefinementOutcome:
+        # Collect predicates from the path formula: constant valuations
+        # obtained by propagating the assignments of the path, guard atoms
+        # with the known constants substituted in (the atoms of the
+        # unsatisfiability proof of the path formula), and the assertion
+        # atoms.  As in BLAST, the predicates are tracked at every location
+        # touched by the path rather than point-wise.
+        predicates: list[Formula] = []
+        constants: dict[str, Fraction] = {}
+        for transition in path:
+            for command in transition.commands:
+                if isinstance(command, Assume):
+                    substitution = {
+                        Var(name): LinExpr.constant(value)
+                        for name, value in constants.items()
+                    }
+                    for atom in command.cond.atoms():
+                        if atom.rel is Relation.NE:
+                            atom = Atom(atom.expr, Relation.EQ)
+                        specialised = atom.substitute(substitution)
+                        if isinstance(specialised, Atom) and not specialised.is_trivially_true():
+                            predicates.append(specialised)
+                        predicates.append(atom)
+                constants = _propagate_constants(constants, command)
+            for name, value in constants.items():
+                if not name.startswith("__"):
+                    predicates.append(eq(LinExpr.variable(name), LinExpr.constant(value)))
+
+        locations = {transition.source for transition in path} | {
+            transition.target for transition in path
+        }
+        locations.discard(program.error)
+        added = 0
+        for location in locations:
+            for predicate in predicates:
+                added += precision.add(location, predicate)
+        return RefinementOutcome(
+            progress=added > 0,
+            new_predicates=added,
+            description=f"{added} predicates from the path formula",
+        )
+
+
+def _propagate_constants(
+    constants: dict[str, Fraction], command: Command
+) -> dict[str, Fraction]:
+    result = dict(constants)
+    if isinstance(command, Assign):
+        value = _evaluate_constant(command.expr, constants)
+        if value is None:
+            result.pop(command.var, None)
+        else:
+            result[command.var] = value
+    elif isinstance(command, Havoc):
+        for name in command.vars:
+            result.pop(name, None)
+    return result
+
+
+def _evaluate_constant(expr: LinExpr, constants: dict[str, Fraction]) -> Optional[Fraction]:
+    if expr.array_reads():
+        return None
+    total = expr.const
+    for atom, coeff in expr.terms:
+        assert isinstance(atom, Var)
+        if atom.name not in constants:
+            return None
+        total += coeff * constants[atom.name]
+    return total
+
+
+# ----------------------------------------------------------------------
+# The paper's refiner: path programs + path invariants
+# ----------------------------------------------------------------------
+class PathInvariantRefiner(Refiner):
+    """Refinement through path programs and path-invariant synthesis."""
+
+    name = "path-invariant"
+
+    def __init__(
+        self,
+        checker: Optional[VcChecker] = None,
+        options: Optional[SynthesisOptions] = None,
+        fallback: bool = True,
+    ) -> None:
+        self.checker = checker or VcChecker()
+        self.synthesizer = PathInvariantSynthesizer(self.checker, options)
+        #: When synthesis fails, fall back to path-formula predicates so that
+        #: the CEGAR loop still makes progress on the current counterexample.
+        self.fallback = PathFormulaRefiner() if fallback else None
+        self.synthesis_results: list[SynthesisResult] = []
+
+    def refine(
+        self, program: Program, path: Sequence[Transition], precision: Precision
+    ) -> RefinementOutcome:
+        path_program = build_path_program(program, path)
+        synthesis = self.synthesizer.synthesize(path_program.program)
+        self.synthesis_results.append(synthesis)
+
+        if not synthesis.success or synthesis.invariant_map is None:
+            if self.fallback is not None:
+                outcome = self.fallback.refine(program, path, precision)
+                outcome.description = (
+                    "path-invariant synthesis failed "
+                    f"({synthesis.reason}); fell back to path-formula predicates"
+                )
+                outcome.path_program = path_program
+                outcome.synthesis = synthesis
+                return outcome
+            return RefinementOutcome(
+                False,
+                description=f"path-invariant synthesis failed: {synthesis.reason}",
+                path_program=path_program,
+                synthesis=synthesis,
+            )
+
+        added = 0
+        invariant_map = synthesis.invariant_map
+        for pp_location, original in path_program.origin.items():
+            if original in (program.error,):
+                continue
+            formula = invariant_map.get(pp_location)
+            for predicate in conjuncts(formula):
+                added += precision.add(original, predicate)
+        return RefinementOutcome(
+            progress=added > 0,
+            new_predicates=added,
+            description=f"{added} predicates from the path invariant",
+            path_program=path_program,
+            synthesis=synthesis,
+        )

@@ -1,0 +1,69 @@
+"""The public verification API.
+
+``verify()`` is the one-call entry point a downstream user needs: it accepts
+mini-C source text, a parsed function, or an already-built transition system,
+runs CEGAR with the requested refinement strategy, and returns the
+:class:`~repro.core.cegar.CegarResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..lang.ast import FunctionDef
+from ..lang.cfg import Program, build_program, program_from_source
+from ..smt.vcgen import VcChecker
+from .cegar import CegarLoop, CegarResult
+from .refiners import PathFormulaRefiner, PathInvariantRefiner, Refiner
+
+__all__ = ["verify", "make_refiner", "REFINER_NAMES"]
+
+REFINER_NAMES = ("path-invariant", "path-formula")
+
+
+def make_refiner(name: str, checker: Optional[VcChecker] = None) -> Refiner:
+    """Construct a refiner by name (``path-invariant`` or ``path-formula``)."""
+    if name == "path-invariant":
+        return PathInvariantRefiner(checker)
+    if name == "path-formula":
+        return PathFormulaRefiner()
+    raise ValueError(f"unknown refiner {name!r}; expected one of {REFINER_NAMES}")
+
+
+def verify(
+    program: Union[str, FunctionDef, Program],
+    refiner: Union[str, Refiner] = "path-invariant",
+    max_refinements: int = 25,
+    max_art_nodes: int = 4000,
+    checker: Optional[VcChecker] = None,
+) -> CegarResult:
+    """Verify the assertions of a program.
+
+    Parameters
+    ----------
+    program:
+        Mini-C source text, a parsed :class:`FunctionDef`, or a
+        :class:`Program` transition system.
+    refiner:
+        ``"path-invariant"`` (the paper's refinement through path programs,
+        the default), ``"path-formula"`` (the classic CEGAR baseline), or a
+        custom :class:`Refiner` instance.
+    max_refinements:
+        Budget on CEGAR iterations; the baseline refiner needs this on
+        programs whose proofs require loop invariants.
+    """
+    if isinstance(program, str):
+        program = program_from_source(program)
+    elif isinstance(program, FunctionDef):
+        program = build_program(program)
+
+    checker = checker or VcChecker()
+    refiner_obj = refiner if isinstance(refiner, Refiner) else make_refiner(refiner, checker)
+    loop = CegarLoop(
+        program,
+        refiner=refiner_obj,
+        checker=checker,
+        max_refinements=max_refinements,
+        max_art_nodes=max_art_nodes,
+    )
+    return loop.run()

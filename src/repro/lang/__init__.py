@@ -1,0 +1,67 @@
+"""Surface language front end: parsing, type checking, CFG construction."""
+
+from .ast import FunctionDef
+from .commands import ArrayAssign, Assign, Assume, Command, Havoc, Skip
+from .cfg import (
+    CfgBuildError,
+    Location,
+    Program,
+    Transition,
+    build_program,
+    compact,
+    condition_to_formula,
+    expr_to_linexpr,
+    program_from_source,
+)
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_expression, parse_function, parse_program
+from .pretty import format_path, format_program, format_transition, program_to_dot
+from .programs import (
+    PROGRAMS,
+    BenchmarkProgram,
+    get_program,
+    get_source,
+    list_programs,
+    safe_programs,
+    unsafe_programs,
+)
+from .typecheck import SymbolTable, TypeCheckError, check_function
+
+__all__ = [
+    "FunctionDef",
+    "ArrayAssign",
+    "Assign",
+    "Assume",
+    "Command",
+    "Havoc",
+    "Skip",
+    "CfgBuildError",
+    "Location",
+    "Program",
+    "Transition",
+    "build_program",
+    "compact",
+    "condition_to_formula",
+    "expr_to_linexpr",
+    "program_from_source",
+    "LexError",
+    "tokenize",
+    "ParseError",
+    "parse_expression",
+    "parse_function",
+    "parse_program",
+    "format_path",
+    "format_program",
+    "format_transition",
+    "program_to_dot",
+    "PROGRAMS",
+    "BenchmarkProgram",
+    "get_program",
+    "get_source",
+    "list_programs",
+    "safe_programs",
+    "unsafe_programs",
+    "SymbolTable",
+    "TypeCheckError",
+    "check_function",
+]

@@ -1,0 +1,176 @@
+"""Primitive program commands.
+
+Control-flow-graph edges are labelled with sequences of these commands.  The
+representation is deliberately structured (rather than raw transition
+constraints over ``X`` and ``X'``) because every client — the path-formula
+builder, the verification-condition generator, the strongest-postcondition
+engine and the invariant synthesizer — needs to know *which* variable or array
+cell an edge updates.  The relational view of the paper (a constraint ``rho``
+over ``X`` and ``X'``) is recovered by :func:`relation_formula`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic.formulas import Atom, Formula, TRUE, conjoin, eq
+from ..logic.terms import ArrayRead, LinExpr, Var
+
+__all__ = [
+    "Command",
+    "Assume",
+    "Assign",
+    "ArrayAssign",
+    "Havoc",
+    "Skip",
+    "command_reads",
+    "command_writes",
+    "commands_variables",
+    "commands_arrays",
+    "relation_formula",
+    "pretty_command",
+]
+
+
+class Command:
+    """Base class of primitive commands (frozen dataclass subclasses)."""
+
+
+@dataclass(frozen=True)
+class Assume(Command):
+    """``assume(cond)`` — block execution unless ``cond`` holds."""
+
+    cond: Formula
+
+    def __str__(self) -> str:
+        return f"[{self.cond}]"
+
+
+@dataclass(frozen=True)
+class Assign(Command):
+    """``var := expr`` for a scalar variable."""
+
+    var: str
+    expr: LinExpr
+
+    def __str__(self) -> str:
+        return f"{self.var} := {self.expr}"
+
+
+@dataclass(frozen=True)
+class ArrayAssign(Command):
+    """``array[index] := value``."""
+
+    array: str
+    index: LinExpr
+    value: LinExpr
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}] := {self.value}"
+
+
+@dataclass(frozen=True)
+class Havoc(Command):
+    """Nondeterministically update the listed scalar variables."""
+
+    vars: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"havoc({', '.join(self.vars)})"
+
+
+@dataclass(frozen=True)
+class Skip(Command):
+    """No-op."""
+
+    def __str__(self) -> str:
+        return "skip"
+
+
+def command_reads(cmd: Command) -> set[str]:
+    """Names of scalar variables and arrays read by a command."""
+    if isinstance(cmd, Assume):
+        names = {v.name for v in cmd.cond.variables()}
+        names |= cmd.cond.arrays()
+        return names
+    if isinstance(cmd, Assign):
+        names = {v.name for v in cmd.expr.variables()}
+        names |= cmd.expr.arrays()
+        return names
+    if isinstance(cmd, ArrayAssign):
+        names = {v.name for v in cmd.index.variables()} | {
+            v.name for v in cmd.value.variables()
+        }
+        names |= cmd.index.arrays() | cmd.value.arrays()
+        return names
+    return set()
+
+
+def command_writes(cmd: Command) -> set[str]:
+    """Names of scalar variables and arrays written by a command."""
+    if isinstance(cmd, Assign):
+        return {cmd.var}
+    if isinstance(cmd, ArrayAssign):
+        return {cmd.array}
+    if isinstance(cmd, Havoc):
+        return set(cmd.vars)
+    return set()
+
+
+def commands_variables(cmds: Iterable[Command]) -> set[str]:
+    """All scalar-variable and array names mentioned by a command sequence."""
+    names: set[str] = set()
+    for cmd in cmds:
+        names |= command_reads(cmd) | command_writes(cmd)
+    return names
+
+
+def commands_arrays(cmds: Iterable[Command]) -> set[str]:
+    """Array names mentioned by a command sequence."""
+    arrays: set[str] = set()
+    for cmd in cmds:
+        if isinstance(cmd, ArrayAssign):
+            arrays.add(cmd.array)
+            arrays |= cmd.index.arrays() | cmd.value.arrays()
+        elif isinstance(cmd, Assume):
+            arrays |= cmd.cond.arrays()
+        elif isinstance(cmd, Assign):
+            arrays |= cmd.expr.arrays()
+    return arrays
+
+
+def relation_formula(cmd: Command, frame: Sequence[str] = ()) -> Formula:
+    """The transition constraint ``rho`` over ``X`` and ``X'`` for one command.
+
+    Array assignments are *not* expressible as a finite formula in our logic
+    (they would need a ``store`` term); callers that need the relational view
+    of an array write must use the SSA machinery in :mod:`repro.smt.ssa`.
+    ``frame`` lists variables that should be explicitly framed (``x' = x``).
+    """
+    parts: list[Formula] = []
+    if isinstance(cmd, Assume):
+        parts.append(cmd.cond)
+        written: set[str] = set()
+    elif isinstance(cmd, Assign):
+        parts.append(eq(LinExpr.variable(Var(cmd.var).primed()), cmd.expr))
+        written = {cmd.var}
+    elif isinstance(cmd, Havoc):
+        written = set(cmd.vars)
+    elif isinstance(cmd, Skip):
+        written = set()
+    elif isinstance(cmd, ArrayAssign):
+        raise ValueError(
+            "array assignments have no finite relational formula; use repro.smt.ssa"
+        )
+    else:
+        raise TypeError(f"unexpected command {cmd!r}")
+    for name in frame:
+        if name not in written:
+            parts.append(eq(LinExpr.variable(Var(name).primed()), LinExpr.variable(name)))
+    return conjoin(parts)
+
+
+def pretty_command(cmd: Command) -> str:
+    """A single-line rendering used by the CFG pretty printer."""
+    return str(cmd)

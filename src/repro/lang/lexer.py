@@ -1,0 +1,147 @@
+"""Tokenizer for the mini-C surface language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .ast import SourcePosition
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "void",
+    "int",
+    "if",
+    "else",
+    "while",
+    "for",
+    "assume",
+    "assert",
+    "nondet",
+    "skip",
+    "true",
+    "false",
+    "return",
+}
+
+_SYMBOLS = [
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "!",
+]
+
+
+class LexError(ValueError):
+    """Raised on malformed input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'number', 'keyword', 'symbol', 'eof'
+    text: str
+    position: SourcePosition
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn source text into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def position() -> SourcePosition:
+        return SourcePosition(line, column)
+
+    while index < length:
+        char = source[index]
+
+        # Whitespace -----------------------------------------------------
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+
+        # Comments -------------------------------------------------------
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise LexError(f"unterminated comment at {position()}")
+            skipped = source[index : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            index = end + 2
+            continue
+
+        # Identifiers / keywords ------------------------------------------
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, position()))
+            column += index - start
+            continue
+
+        # Numbers ----------------------------------------------------------
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            tokens.append(Token("number", source[start:index], position()))
+            column += index - start
+            continue
+
+        # Symbols ----------------------------------------------------------
+        matched = None
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, index):
+                matched = symbol
+                break
+        if matched is None:
+            raise LexError(f"unexpected character {char!r} at {position()}")
+        tokens.append(Token("symbol", matched, position()))
+        index += len(matched)
+        column += len(matched)
+
+    tokens.append(Token("eof", "", SourcePosition(line, column)))
+    return tokens

@@ -1,0 +1,530 @@
+"""Formulas of linear arithmetic with array reads and restricted quantification.
+
+The formula language mirrors the assertion language of the paper:
+
+* atoms are linear constraints ``e <= 0``, ``e < 0``, ``e = 0`` and ``e != 0``
+  where ``e`` is a :class:`~repro.logic.terms.LinExpr` (possibly mentioning
+  array reads),
+* boolean structure (``And``, ``Or``, ``Not``, ``true``, ``false``), and
+* a restricted universal quantifier of the *array property fragment*:
+  ``Forall(k, body)`` where the body is typically an implication of the form
+  ``lower <= k /\\ k <= upper  ->  a[k] = rhs``.
+
+All formula objects are immutable and hashable so they can be used as
+predicates inside sets (the predicate abstraction keeps per-location sets of
+formulas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from .terms import ArrayRead, Atomic, LinExpr, Rat, Var, coerce_expr
+
+__all__ = [
+    "Relation",
+    "Formula",
+    "Atom",
+    "BoolConst",
+    "And",
+    "Or",
+    "Not",
+    "Forall",
+    "TRUE",
+    "FALSE",
+    "eq",
+    "ne",
+    "le",
+    "lt",
+    "ge",
+    "gt",
+    "conjoin",
+    "disjoin",
+    "negate",
+    "implies_formula",
+]
+
+
+class Relation(Enum):
+    """Relations of normalised atoms ``expr REL 0``."""
+
+    LE = "<="
+    LT = "<"
+    EQ = "="
+    NE = "!="
+
+    def negated(self) -> "Relation":
+        return _NEGATIONS[self]
+
+    def holds(self, value: Fraction) -> bool:
+        if self is Relation.LE:
+            return value <= 0
+        if self is Relation.LT:
+            return value < 0
+        if self is Relation.EQ:
+            return value == 0
+        return value != 0
+
+
+_NEGATIONS = {
+    Relation.LE: Relation.LT,   # not(e <= 0)  ==  -e < 0
+    Relation.LT: Relation.LE,   # not(e < 0)   ==  -e <= 0
+    Relation.EQ: Relation.NE,
+    Relation.NE: Relation.EQ,
+}
+
+
+class Formula:
+    """Base class of all formulas.  Subclasses are frozen dataclasses."""
+
+    # -- structural queries -------------------------------------------------
+    def variables(self) -> set[Var]:
+        raise NotImplementedError
+
+    def array_reads(self) -> set[ArrayRead]:
+        raise NotImplementedError
+
+    def arrays(self) -> set[str]:
+        return {r.array for r in self.array_reads()}
+
+    def atoms(self) -> set["Atom"]:
+        raise NotImplementedError
+
+    def has_quantifier(self) -> bool:
+        raise NotImplementedError
+
+    # -- transformations ----------------------------------------------------
+    def substitute(self, mapping: Mapping[Var, LinExpr]) -> "Formula":
+        raise NotImplementedError
+
+    def substitute_reads(self, mapping: Mapping[ArrayRead, LinExpr]) -> "Formula":
+        raise NotImplementedError
+
+    def rename(self, renaming: Mapping[str, str]) -> "Formula":
+        raise NotImplementedError
+
+    def primed(self) -> "Formula":
+        renaming = {v.name: v.name + "'" for v in self.variables()}
+        renaming.update({a: a + "'" for a in self.arrays()})
+        return self.rename(renaming)
+
+    # -- evaluation ---------------------------------------------------------
+    def evaluate(self, valuation: Mapping[Atomic, Rat]) -> bool:
+        raise NotImplementedError
+
+    # -- convenience --------------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return conjoin([self, other])
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disjoin([self, other])
+
+    def __invert__(self) -> "Formula":
+        return negate(self)
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    """The constants ``true`` and ``false``."""
+
+    value: bool
+
+    def variables(self) -> set[Var]:
+        return set()
+
+    def array_reads(self) -> set[ArrayRead]:
+        return set()
+
+    def atoms(self) -> set["Atom"]:
+        return set()
+
+    def has_quantifier(self) -> bool:
+        return False
+
+    def substitute(self, mapping: Mapping[Var, LinExpr]) -> Formula:
+        return self
+
+    def substitute_reads(self, mapping: Mapping[ArrayRead, LinExpr]) -> Formula:
+        return self
+
+    def rename(self, renaming: Mapping[str, str]) -> Formula:
+        return self
+
+    def evaluate(self, valuation: Mapping[Atomic, Rat]) -> bool:
+        return self.value
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A normalised linear atom ``expr REL 0``."""
+
+    expr: LinExpr
+    rel: Relation
+
+    def variables(self) -> set[Var]:
+        return self.expr.variables()
+
+    def array_reads(self) -> set[ArrayRead]:
+        return self.expr.array_reads()
+
+    def atoms(self) -> set["Atom"]:
+        return {self}
+
+    def has_quantifier(self) -> bool:
+        return False
+
+    def substitute(self, mapping: Mapping[Var, LinExpr]) -> Formula:
+        return Atom(self.expr.substitute(mapping), self.rel)
+
+    def substitute_reads(self, mapping: Mapping[ArrayRead, LinExpr]) -> Formula:
+        return Atom(self.expr.substitute_reads(mapping), self.rel)
+
+    def rename(self, renaming: Mapping[str, str]) -> Formula:
+        return Atom(self.expr.rename(renaming), self.rel)
+
+    def evaluate(self, valuation: Mapping[Atomic, Rat]) -> bool:
+        return self.rel.holds(self.expr.evaluate(valuation))
+
+    def negated(self) -> "Atom":
+        """The negation of this atom, again as a single atom."""
+        if self.rel in (Relation.EQ, Relation.NE):
+            return Atom(self.expr, self.rel.negated())
+        # not(e <= 0) == -e < 0 ; not(e < 0) == -e <= 0
+        return Atom(-self.expr, self.rel.negated())
+
+    def is_trivially_true(self) -> bool:
+        if not self.expr.is_constant():
+            return False
+        return self.rel.holds(self.expr.const)
+
+    def is_trivially_false(self) -> bool:
+        if not self.expr.is_constant():
+            return False
+        return not self.rel.holds(self.expr.const)
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.rel.value} 0"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction.  Use :func:`conjoin` to build flattened instances."""
+
+    args: tuple[Formula, ...]
+
+    def variables(self) -> set[Var]:
+        result: set[Var] = set()
+        for arg in self.args:
+            result |= arg.variables()
+        return result
+
+    def array_reads(self) -> set[ArrayRead]:
+        result: set[ArrayRead] = set()
+        for arg in self.args:
+            result |= arg.array_reads()
+        return result
+
+    def atoms(self) -> set[Atom]:
+        result: set[Atom] = set()
+        for arg in self.args:
+            result |= arg.atoms()
+        return result
+
+    def has_quantifier(self) -> bool:
+        return any(arg.has_quantifier() for arg in self.args)
+
+    def substitute(self, mapping: Mapping[Var, LinExpr]) -> Formula:
+        return conjoin([arg.substitute(mapping) for arg in self.args])
+
+    def substitute_reads(self, mapping: Mapping[ArrayRead, LinExpr]) -> Formula:
+        return conjoin([arg.substitute_reads(mapping) for arg in self.args])
+
+    def rename(self, renaming: Mapping[str, str]) -> Formula:
+        return conjoin([arg.rename(renaming) for arg in self.args])
+
+    def evaluate(self, valuation: Mapping[Atomic, Rat]) -> bool:
+        return all(arg.evaluate(valuation) for arg in self.args)
+
+    def __str__(self) -> str:
+        return "(" + " /\\ ".join(str(arg) for arg in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction.  Use :func:`disjoin` to build flattened instances."""
+
+    args: tuple[Formula, ...]
+
+    def variables(self) -> set[Var]:
+        result: set[Var] = set()
+        for arg in self.args:
+            result |= arg.variables()
+        return result
+
+    def array_reads(self) -> set[ArrayRead]:
+        result: set[ArrayRead] = set()
+        for arg in self.args:
+            result |= arg.array_reads()
+        return result
+
+    def atoms(self) -> set[Atom]:
+        result: set[Atom] = set()
+        for arg in self.args:
+            result |= arg.atoms()
+        return result
+
+    def has_quantifier(self) -> bool:
+        return any(arg.has_quantifier() for arg in self.args)
+
+    def substitute(self, mapping: Mapping[Var, LinExpr]) -> Formula:
+        return disjoin([arg.substitute(mapping) for arg in self.args])
+
+    def substitute_reads(self, mapping: Mapping[ArrayRead, LinExpr]) -> Formula:
+        return disjoin([arg.substitute_reads(mapping) for arg in self.args])
+
+    def rename(self, renaming: Mapping[str, str]) -> Formula:
+        return disjoin([arg.rename(renaming) for arg in self.args])
+
+    def evaluate(self, valuation: Mapping[Atomic, Rat]) -> bool:
+        return any(arg.evaluate(valuation) for arg in self.args)
+
+    def __str__(self) -> str:
+        return "(" + " \\/ ".join(str(arg) for arg in self.args) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation of an arbitrary sub-formula."""
+
+    arg: Formula
+
+    def variables(self) -> set[Var]:
+        return self.arg.variables()
+
+    def array_reads(self) -> set[ArrayRead]:
+        return self.arg.array_reads()
+
+    def atoms(self) -> set[Atom]:
+        return self.arg.atoms()
+
+    def has_quantifier(self) -> bool:
+        return self.arg.has_quantifier()
+
+    def substitute(self, mapping: Mapping[Var, LinExpr]) -> Formula:
+        return negate(self.arg.substitute(mapping))
+
+    def substitute_reads(self, mapping: Mapping[ArrayRead, LinExpr]) -> Formula:
+        return negate(self.arg.substitute_reads(mapping))
+
+    def rename(self, renaming: Mapping[str, str]) -> Formula:
+        return negate(self.arg.rename(renaming))
+
+    def evaluate(self, valuation: Mapping[Atomic, Rat]) -> bool:
+        return not self.arg.evaluate(valuation)
+
+    def __str__(self) -> str:
+        return f"!({self.arg})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """A universally quantified formula ``forall index: body``.
+
+    The invariant-synthesis pipeline only produces instances in the array
+    property fragment (the body is an implication whose hypothesis bounds the
+    index variable by linear expressions), but the class itself admits any
+    body; the quantifier-instantiation module checks the shape it needs.
+    """
+
+    index: Var
+    body: Formula
+
+    def variables(self) -> set[Var]:
+        return self.body.variables() - {self.index}
+
+    def bound_variable(self) -> Var:
+        return self.index
+
+    def array_reads(self) -> set[ArrayRead]:
+        # Reads whose index mentions the bound variable are reported too;
+        # callers that need only "ground" reads filter on variables().
+        return self.body.array_reads()
+
+    def atoms(self) -> set[Atom]:
+        return self.body.atoms()
+
+    def has_quantifier(self) -> bool:
+        return True
+
+    def substitute(self, mapping: Mapping[Var, LinExpr]) -> Formula:
+        safe = {v: e for v, e in mapping.items() if v != self.index}
+        return Forall(self.index, self.body.substitute(safe))
+
+    def substitute_reads(self, mapping: Mapping[ArrayRead, LinExpr]) -> Formula:
+        return Forall(self.index, self.body.substitute_reads(mapping))
+
+    def rename(self, renaming: Mapping[str, str]) -> Formula:
+        safe = {old: new for old, new in renaming.items() if old != self.index.name}
+        return Forall(self.index, self.body.rename(safe))
+
+    def instantiate(self, term: LinExpr) -> Formula:
+        """Instantiate the bound variable with ``term``."""
+        return self.body.substitute({self.index: term})
+
+    def evaluate(self, valuation: Mapping[Atomic, Rat]) -> bool:
+        raise NotImplementedError("quantified formulas cannot be evaluated directly")
+
+    def __str__(self) -> str:
+        return f"(forall {self.index}: {self.body})"
+
+
+# ----------------------------------------------------------------------
+# Smart constructors
+# ----------------------------------------------------------------------
+def conjoin(parts: Iterable[Formula]) -> Formula:
+    """Flattened, constant-folding conjunction."""
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    for part in parts:
+        if isinstance(part, BoolConst):
+            if not part.value:
+                return FALSE
+            continue
+        if isinstance(part, Atom):
+            if part.is_trivially_true():
+                continue
+            if part.is_trivially_false():
+                return FALSE
+        if isinstance(part, And):
+            for sub in part.args:
+                if sub not in seen:
+                    seen.add(sub)
+                    flat.append(sub)
+            continue
+        if part not in seen:
+            seen.add(part)
+            flat.append(part)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjoin(parts: Iterable[Formula]) -> Formula:
+    """Flattened, constant-folding disjunction."""
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    for part in parts:
+        if isinstance(part, BoolConst):
+            if part.value:
+                return TRUE
+            continue
+        if isinstance(part, Atom):
+            if part.is_trivially_false():
+                continue
+            if part.is_trivially_true():
+                return TRUE
+        if isinstance(part, Or):
+            for sub in part.args:
+                if sub not in seen:
+                    seen.add(sub)
+                    flat.append(sub)
+            continue
+        if part not in seen:
+            seen.add(part)
+            flat.append(part)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def negate(formula: Formula) -> Formula:
+    """Negation with negation-normal-form push for the propositional part."""
+    if isinstance(formula, BoolConst):
+        return FALSE if formula.value else TRUE
+    if isinstance(formula, Atom):
+        return formula.negated()
+    if isinstance(formula, Not):
+        return formula.arg
+    if isinstance(formula, And):
+        return disjoin([negate(arg) for arg in formula.args])
+    if isinstance(formula, Or):
+        return conjoin([negate(arg) for arg in formula.args])
+    if isinstance(formula, Forall):
+        # The negation of a universal is existential; we keep it wrapped in
+        # Not and let the quantifier module skolemise it.
+        return Not(formula)
+    raise TypeError(f"cannot negate {formula!r}")
+
+
+def implies_formula(lhs: Formula, rhs: Formula) -> Formula:
+    """The formula ``lhs -> rhs`` (as a disjunction)."""
+    return disjoin([negate(lhs), rhs])
+
+
+# ----------------------------------------------------------------------
+# Comparison helpers: build normalised atoms from arbitrary expressions.
+# ----------------------------------------------------------------------
+def _diff(lhs, rhs) -> LinExpr:
+    return coerce_expr(lhs) - coerce_expr(rhs)
+
+
+def eq(lhs, rhs) -> Atom:
+    """``lhs = rhs`` as a normalised atom."""
+    return Atom(_diff(lhs, rhs), Relation.EQ)
+
+
+def ne(lhs, rhs) -> Atom:
+    """``lhs != rhs`` as a normalised atom."""
+    return Atom(_diff(lhs, rhs), Relation.NE)
+
+
+def le(lhs, rhs) -> Atom:
+    """``lhs <= rhs`` as a normalised atom."""
+    return Atom(_diff(lhs, rhs), Relation.LE)
+
+
+def lt(lhs, rhs) -> Atom:
+    """``lhs < rhs`` as a normalised atom."""
+    return Atom(_diff(lhs, rhs), Relation.LT)
+
+
+def ge(lhs, rhs) -> Atom:
+    """``lhs >= rhs`` as a normalised atom."""
+    return le(rhs, lhs)
+
+
+def gt(lhs, rhs) -> Atom:
+    """``lhs > rhs`` as a normalised atom."""
+    return lt(rhs, lhs)
+
+
+def conjuncts(formula: Formula) -> tuple[Formula, ...]:
+    """Top-level conjuncts of a formula (the formula itself if not an And)."""
+    if isinstance(formula, And):
+        return formula.args
+    if isinstance(formula, BoolConst) and formula.value:
+        return ()
+    return (formula,)
+
+
+def disjuncts(formula: Formula) -> tuple[Formula, ...]:
+    """Top-level disjuncts of a formula (the formula itself if not an Or)."""
+    if isinstance(formula, Or):
+        return formula.args
+    if isinstance(formula, BoolConst) and not formula.value:
+        return ()
+    return (formula,)

@@ -1,0 +1,38 @@
+"""Decision procedures: linear arithmetic, arrays-as-UF, quantifier handling."""
+
+from .linear import LinConstraint, normalize_constraint, tighten_integer
+from .fourier_motzkin import project, satisfiable
+from .simplex import LPResult, LPStatus, feasible, solve_lp
+from .lra import LraResult, LraSolver
+from .arrays import CubeSolver, Store, resolve_stores
+from .quant import eliminate_quantifiers, instantiate_positive, skolemize_negative
+from .solver import SatResult, SmtSolver
+from .ssa import SsaTranslation, ssa_translate, versioned
+from .vcgen import PathFeasibility, VcChecker
+
+__all__ = [
+    "LinConstraint",
+    "normalize_constraint",
+    "tighten_integer",
+    "project",
+    "satisfiable",
+    "LPResult",
+    "LPStatus",
+    "feasible",
+    "solve_lp",
+    "LraResult",
+    "LraSolver",
+    "CubeSolver",
+    "Store",
+    "resolve_stores",
+    "eliminate_quantifiers",
+    "instantiate_positive",
+    "skolemize_negative",
+    "SatResult",
+    "SmtSolver",
+    "SsaTranslation",
+    "ssa_translate",
+    "versioned",
+    "PathFeasibility",
+    "VcChecker",
+]

@@ -1,0 +1,225 @@
+"""Array reasoning: store resolution and read handling.
+
+Two mechanisms live here.
+
+1. :func:`resolve_stores` performs the *read-over-write* case split of
+   Section 4.2 of the paper on the formula level: a read ``a1[t]`` where
+   ``a1 = store(a0, i, v)`` is replaced by the disjunction of the two cases
+   ``t = i`` (the read returns the written value ``v``) and ``t != i`` (the
+   read falls through to ``a0[t]``).
+
+2. :class:`CubeSolver` decides conjunctions that still contain reads of
+   *base* (store-free) arrays.  Reads are treated as applications of
+   uninterpreted functions: each distinct read is replaced by a fresh value
+   variable and the functionality axiom ("equal indices give equal values")
+   is enforced lazily by splitting on the order of the two indices whenever a
+   candidate model violates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..logic.formulas import (
+    And,
+    Atom,
+    BoolConst,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Relation,
+    conjoin,
+    disjoin,
+    eq,
+    ne,
+)
+from ..logic.terms import ArrayRead, LinExpr, Var
+from ..logic.transform import FreshNames
+from .lra import LraResult, LraSolver
+
+__all__ = ["Store", "resolve_stores", "CubeSolver", "ground_reads"]
+
+
+@dataclass(frozen=True)
+class Store:
+    """A single array write: ``target = store(base, index, value)``."""
+
+    base: str
+    index: LinExpr
+    value: LinExpr
+
+
+def ground_reads(formula: Formula) -> set[ArrayRead]:
+    """Array reads of a formula that are not under a quantifier.
+
+    Reads whose index mentions a quantified variable are handled during
+    instantiation instead, exactly as in the paper's reduction.
+    """
+    reads: set[ArrayRead] = set()
+    _collect_ground_reads(formula, reads)
+    return reads
+
+
+def _collect_ground_reads(formula: Formula, out: set[ArrayRead]) -> None:
+    if isinstance(formula, BoolConst):
+        return
+    if isinstance(formula, Atom):
+        out.update(formula.expr.array_reads())
+        return
+    if isinstance(formula, Not):
+        _collect_ground_reads(formula.arg, out)
+        return
+    if isinstance(formula, (And, Or)):
+        for arg in formula.args:
+            _collect_ground_reads(arg, out)
+        return
+    if isinstance(formula, Forall):
+        # Skip: reads under the quantifier are not ground.
+        return
+    raise TypeError(f"unexpected formula {formula!r}")
+
+
+def resolve_stores(formula: Formula, stores: dict[str, Store]) -> Formula:
+    """Eliminate reads of written-to array versions by case splitting.
+
+    ``stores`` maps an array symbol to the store that defines it; symbols not
+    in the map are base arrays.  The result contains only reads of base
+    arrays (outside quantifiers); reads under quantifiers are expected to
+    target base arrays already.
+    """
+    for _ in range(10_000):
+        target = _find_stored_read(formula, stores)
+        if target is None:
+            return formula
+        store = stores[target.array]
+        hit = formula.substitute_reads({target: store.value})
+        miss = formula.substitute_reads(
+            {target: LinExpr.make({ArrayRead(store.base, target.index): 1})}
+        )
+        formula = disjoin(
+            [
+                conjoin([eq(target.index, store.index), hit]),
+                conjoin([ne(target.index, store.index), miss]),
+            ]
+        )
+    raise RuntimeError("store resolution did not terminate")
+
+
+def _find_stored_read(formula: Formula, stores: dict[str, Store]) -> Optional[ArrayRead]:
+    for read in sorted(ground_reads(formula), key=str):
+        if read.array in stores:
+            return read
+    return None
+
+
+class CubeSolver:
+    """Decide conjunctions of atoms over integers with base-array reads."""
+
+    def __init__(self, lra: Optional[LraSolver] = None) -> None:
+        self.lra = lra or LraSolver()
+        self._fresh = FreshNames("rd")
+
+    # ------------------------------------------------------------------
+    def check(self, atoms: Sequence[Atom]) -> LraResult:
+        """Satisfiability of the conjunction of ``atoms``."""
+        # 1. split disequalities
+        for position, atom in enumerate(atoms):
+            if atom.rel is Relation.NE:
+                rest = list(atoms[:position]) + list(atoms[position + 1 :])
+                less = self.check(rest + [Atom(atom.expr, Relation.LT)])
+                if less.satisfiable:
+                    return less
+                return self.check(rest + [Atom(-atom.expr, Relation.LT)])
+
+        # 2. flatten array reads into fresh value variables
+        flattened, read_vars, index_of = self._flatten(atoms)
+        return self._check_functional(flattened, read_vars, index_of, decided=set())
+
+    # ------------------------------------------------------------------
+    def _flatten(
+        self, atoms: Sequence[Atom]
+    ) -> tuple[list[Atom], dict[ArrayRead, Var], dict[Var, tuple[str, LinExpr]]]:
+        mapping: dict[ArrayRead, Var] = {}
+        index_of: dict[Var, tuple[str, LinExpr]] = {}
+
+        def flatten_expr(expr: LinExpr) -> LinExpr:
+            reads = sorted(expr.array_reads(), key=lambda r: len(str(r)))
+            if not reads:
+                return expr
+            substitution: dict[ArrayRead, LinExpr] = {}
+            for read in reads:
+                flat_index = flatten_expr(read.index)
+                canonical = ArrayRead(read.array, flat_index)
+                if canonical not in mapping:
+                    value_var = self._fresh.fresh(read.array)
+                    mapping[canonical] = value_var
+                    index_of[value_var] = (read.array, flat_index)
+                substitution[read] = LinExpr.make({mapping[canonical]: 1})
+            return expr.substitute_reads(substitution)
+
+        result: list[Atom] = []
+        for atom in atoms:
+            result.append(Atom(flatten_expr(atom.expr), atom.rel))
+        return result, mapping, index_of
+
+    # ------------------------------------------------------------------
+    def _check_functional(
+        self,
+        atoms: list[Atom],
+        read_vars: dict[ArrayRead, Var],
+        index_of: dict[Var, tuple[str, LinExpr]],
+        decided: frozenset | set,
+    ) -> LraResult:
+        result = self.lra.check(atoms)
+        if not result.satisfiable:
+            return result
+        assert result.model is not None
+        violation = self._find_violation(result.model, index_of, decided)
+        if violation is None:
+            return result
+        var_a, var_b, index_a, index_b = violation
+        decided = set(decided) | {frozenset((var_a, var_b))}
+        # Case 1: the indices coincide, so the values must coincide.
+        equal_case = atoms + [eq(index_a, index_b), eq(var_a, var_b)]
+        outcome = self._check_functional(equal_case, read_vars, index_of, decided)
+        if outcome.satisfiable:
+            return outcome
+        # Cases 2 and 3: the indices are ordered strictly.
+        for first, second in ((index_a, index_b), (index_b, index_a)):
+            ordered = atoms + [Atom(first - second, Relation.LT)]
+            outcome = self._check_functional(ordered, read_vars, index_of, decided)
+            if outcome.satisfiable:
+                return outcome
+        return LraResult(False)
+
+    def _find_violation(
+        self,
+        model: dict[Var, Fraction],
+        index_of: dict[Var, tuple[str, LinExpr]],
+        decided,
+    ) -> Optional[tuple[Var, Var, LinExpr, LinExpr]]:
+        items = sorted(index_of.items(), key=lambda kv: kv[0].name)
+        for i, (var_a, (array_a, index_a)) in enumerate(items):
+            for var_b, (array_b, index_b) in items[i + 1 :]:
+                if array_a != array_b:
+                    continue
+                if frozenset((var_a, var_b)) in decided:
+                    continue
+                value_a = self._evaluate(index_a, model)
+                value_b = self._evaluate(index_b, model)
+                if value_a == value_b and model.get(var_a, Fraction(0)) != model.get(
+                    var_b, Fraction(0)
+                ):
+                    return var_a, var_b, index_a, index_b
+        return None
+
+    @staticmethod
+    def _evaluate(expr: LinExpr, model: dict[Var, Fraction]) -> Fraction:
+        total = expr.const
+        for atom, coeff in expr.terms:
+            assert isinstance(atom, Var)
+            total += coeff * model.get(atom, Fraction(0))
+        return total

@@ -1,0 +1,163 @@
+"""Conjunction-level linear-arithmetic solving.
+
+This module glues together the Fourier–Motzkin and simplex engines and adds
+the integer-specific reasoning the verifier needs:
+
+* *integer tightening* — for constraints whose variables all range over the
+  integers, a strict inequality ``e < 0`` is replaced by ``e <= -1``; this is
+  both sound and complete over integer valuations and is what allows e.g.
+  ``i < n`` to justify the array-bound ``i <= n - 1``;
+* *bounded branch and bound* — when a rational witness assigns a fractional
+  value to an integer variable, the solver splits on ``x <= floor(v)`` versus
+  ``x >= floor(v)+1``.  Counterexample-feasibility checks use this to avoid
+  reporting bugs whose path formulas are only rationally satisfiable (the
+  FORWARD path formula is the canonical example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..logic.formulas import Atom, Relation
+from ..logic.terms import LinExpr, Var
+from . import fourier_motzkin, simplex
+from .linear import LinConstraint, normalize_constraint, tighten_integer
+
+__all__ = ["LraSolver", "LraResult"]
+
+#: Above this many constraints the solver prefers simplex over Fourier–Motzkin.
+_FM_CONSTRAINT_LIMIT = 60
+_FM_VARIABLE_LIMIT = 28
+
+
+@dataclass
+class LraResult:
+    """Outcome of a conjunction query."""
+
+    satisfiable: bool
+    model: Optional[dict[Var, Fraction]] = None
+    #: True when the answer required giving up (e.g. branch-and-bound budget
+    #: exhausted); the reported answer is then the sound over-approximation
+    #: "satisfiable".
+    approximate: bool = False
+
+
+class LraSolver:
+    """Satisfiability of conjunctions of linear atoms over scalar variables."""
+
+    def __init__(self, integer_mode: bool = True, bb_limit: int = 40) -> None:
+        self.integer_mode = integer_mode
+        self.bb_limit = bb_limit
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def check(self, atoms: Sequence[Atom]) -> LraResult:
+        """Check satisfiability of a conjunction of (read-free) atoms.
+
+        Disequalities must have been split by the caller.  Equalities, strict
+        and non-strict inequalities are accepted.
+        """
+        constraints = self._to_constraints(atoms)
+        if constraints is None:
+            return LraResult(False)
+        model = self._rational_check(constraints)
+        if model is None:
+            return LraResult(False)
+        if not self.integer_mode:
+            return LraResult(True, model)
+        return self._integer_check(constraints, model, self.bb_limit)
+
+    def entails(self, antecedent: Sequence[Atom], consequent: Atom) -> bool:
+        """Does the conjunction of ``antecedent`` imply ``consequent``?
+
+        Entailment is decided over the rationals (with integer tightening of
+        the hypotheses when integer mode is on), which is sound for integer
+        semantics.  Disequality consequents are handled by case distinction.
+        """
+        if consequent.rel is Relation.NE:
+            # a != 0  is entailed iff  (a < 0) or (a > 0) is entailed ... which
+            # cannot be decided by two separate entailments in general, so fall
+            # back to unsatisfiability of the negation (an equality).
+            negated = [Atom(consequent.expr, Relation.EQ)]
+        elif consequent.rel is Relation.EQ:
+            return self.entails(antecedent, Atom(consequent.expr, Relation.LE)) and self.entails(
+                antecedent, Atom(-consequent.expr, Relation.LE)
+            )
+        else:
+            negated = [consequent.negated()]
+        return not self.check(list(antecedent) + negated).satisfiable
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _to_constraints(self, atoms: Sequence[Atom]) -> Optional[list[LinConstraint]]:
+        constraints: list[LinConstraint] = []
+        for atom in atoms:
+            if atom.rel is Relation.NE:
+                raise ValueError("disequalities must be split before the LRA solver")
+            if atom.is_trivially_false():
+                return None
+            if atom.is_trivially_true():
+                continue
+            constraint = LinConstraint(atom.expr, atom.rel)
+            constraint = normalize_constraint(constraint)
+            if self.integer_mode:
+                constraint = tighten_integer(constraint)
+            constraints.append(constraint)
+        return constraints
+
+    def _rational_check(
+        self, constraints: list[LinConstraint]
+    ) -> Optional[dict[Var, Fraction]]:
+        variables = {v for c in constraints for v in c.variables()}
+        use_fm = (
+            len(constraints) <= _FM_CONSTRAINT_LIMIT and len(variables) <= _FM_VARIABLE_LIMIT
+        )
+        has_strict = any(c.rel is Relation.LT for c in constraints)
+        if use_fm or has_strict:
+            return fourier_motzkin.satisfiable(constraints)
+        return simplex.feasible(constraints)
+
+    def _integer_check(
+        self,
+        constraints: list[LinConstraint],
+        model: dict[Var, Fraction],
+        budget: int,
+    ) -> LraResult:
+        fractional = self._fractional_variable(model)
+        if fractional is None:
+            return LraResult(True, model)
+        if budget <= 0:
+            # Give up: report satisfiable (sound over-approximation for the
+            # uses of this solver: proofs only rely on UNSAT answers).
+            return LraResult(True, model, approximate=True)
+        var, value = fractional
+        floor = Fraction(value.numerator // value.denominator)
+        lower_branch = constraints + [
+            LinConstraint(LinExpr.variable(var) - LinExpr.constant(floor), Relation.LE)
+        ]
+        upper_branch = constraints + [
+            LinConstraint(
+                LinExpr.constant(floor + 1) - LinExpr.variable(var), Relation.LE
+            )
+        ]
+        for branch in (lower_branch, upper_branch):
+            branch_model = self._rational_check(branch)
+            if branch_model is None:
+                continue
+            result = self._integer_check(branch, branch_model, budget // 2)
+            if result.satisfiable:
+                return result
+        return LraResult(False)
+
+    @staticmethod
+    def _fractional_variable(
+        model: dict[Var, Fraction]
+    ) -> Optional[tuple[Var, Fraction]]:
+        for var, value in sorted(model.items()):
+            if value.denominator != 1:
+                return var, value
+        return None

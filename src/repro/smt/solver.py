@@ -1,0 +1,101 @@
+"""The quantifier-free satisfiability solver.
+
+:class:`SmtSolver` decides quantifier-free formulas of linear integer/rational
+arithmetic with array reads (treated as uninterpreted function applications).
+It expands the boolean structure into cubes and delegates each cube to the
+:class:`~repro.smt.arrays.CubeSolver`.
+
+The solver answers three kinds of queries used throughout the library:
+satisfiability (with a witness model), entailment between formulas, and
+equivalence.  Quantified formulas must be pre-processed by
+:mod:`repro.smt.quant`; the convenience entry points of
+:mod:`repro.smt.vcgen` do this automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from ..logic.formulas import Atom, Formula, Not, conjoin, negate
+from ..logic.terms import Var
+from ..logic.transform import dnf_cubes, quantifier_free
+from ..logic.simplify import simplify
+from .arrays import CubeSolver
+from .lra import LraSolver
+
+__all__ = ["SmtSolver", "SatResult"]
+
+
+@dataclass
+class SatResult:
+    """Outcome of a satisfiability query."""
+
+    satisfiable: bool
+    model: Optional[dict[Var, Fraction]] = None
+    approximate: bool = False
+
+
+class SmtSolver:
+    """Quantifier-free LIA/LRA + array-read solver with statistics."""
+
+    def __init__(self, integer_mode: bool = True, bb_limit: int = 40) -> None:
+        self.integer_mode = integer_mode
+        self.lra = LraSolver(integer_mode=integer_mode, bb_limit=bb_limit)
+        self.cube_solver = CubeSolver(self.lra)
+        self.num_sat_queries = 0
+        self.num_entailment_queries = 0
+
+    # ------------------------------------------------------------------
+    def check_sat(self, formula: Formula) -> SatResult:
+        """Satisfiability of a quantifier-free formula."""
+        if not quantifier_free(formula):
+            raise ValueError(
+                "SmtSolver only accepts quantifier-free formulas; "
+                "use repro.smt.vcgen for quantified obligations"
+            )
+        self.num_sat_queries += 1
+        formula = simplify(formula)
+        cubes = dnf_cubes(formula)
+        best_approx: Optional[SatResult] = None
+        for cube in cubes:
+            atoms: list[Atom] = []
+            ok = True
+            for literal in cube:
+                if isinstance(literal, Atom):
+                    atoms.append(literal)
+                elif isinstance(literal, Not) and isinstance(literal.arg, Atom):
+                    atoms.append(literal.arg.negated())
+                else:
+                    raise ValueError(f"unexpected literal in cube: {literal}")
+            if not ok:
+                continue
+            result = self.cube_solver.check(atoms)
+            if result.satisfiable:
+                outcome = SatResult(True, result.model, result.approximate)
+                if not result.approximate:
+                    return outcome
+                best_approx = outcome
+        if best_approx is not None:
+            return best_approx
+        return SatResult(False)
+
+    def is_sat(self, formula: Formula) -> bool:
+        return self.check_sat(formula).satisfiable
+
+    def is_unsat(self, formula: Formula) -> bool:
+        return not self.is_sat(formula)
+
+    def get_model(self, formula: Formula) -> Optional[dict[Var, Fraction]]:
+        result = self.check_sat(formula)
+        return result.model if result.satisfiable else None
+
+    # ------------------------------------------------------------------
+    def entails(self, antecedent: Formula, consequent: Formula) -> bool:
+        """``antecedent |= consequent`` for quantifier-free formulas."""
+        self.num_entailment_queries += 1
+        return self.is_unsat(conjoin([antecedent, negate(consequent)]))
+
+    def equivalent(self, lhs: Formula, rhs: Formula) -> bool:
+        return self.entails(lhs, rhs) and self.entails(rhs, lhs)

@@ -1,0 +1,126 @@
+"""Verification-condition generation and checking.
+
+:class:`VcChecker` is the single entry point the rest of the library uses for
+semantic questions about straight-line code:
+
+* ``check_triple(pre, commands, post)`` — validity of the Hoare triple
+  ``{pre} commands {post}`` (this is the Inductiveness condition I1 of the
+  paper applied to a basic path),
+* ``is_feasible(commands, pre)`` — satisfiability of the path formula, used
+  by the counterexample-analysis phase, and
+* ``check_entailment(lhs, rhs)`` — implication between two state formulas
+  (used by predicate abstraction for covering checks).
+
+Both ``pre`` and ``post`` may contain universally quantified conjuncts of the
+array-property fragment.  The pipeline follows Section 4.2 of the paper:
+skolemise the negated post-condition, resolve array writes by read-over-write
+case splits, instantiate quantified hypotheses at the read index terms, and
+discharge the resulting quantifier-free obligation with the SMT solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..lang.commands import Command
+from ..logic.formulas import FALSE, Formula, TRUE, conjoin, negate
+from ..logic.terms import Var
+from ..logic.transform import FreshNames
+from .arrays import resolve_stores
+from .quant import instantiate_positive, skolemize_negative
+from .solver import SatResult, SmtSolver
+from .ssa import SsaTranslation, rename_to_versions, ssa_translate
+
+__all__ = ["VcChecker", "PathFeasibility"]
+
+
+@dataclass
+class PathFeasibility:
+    """Outcome of a path-feasibility query."""
+
+    feasible: bool
+    model: Optional[dict[Var, Fraction]] = None
+    approximate: bool = False
+
+
+class VcChecker:
+    """Checks Hoare triples, path feasibility and entailments."""
+
+    def __init__(self, integer_mode: bool = True, bb_limit: int = 40) -> None:
+        self.solver = SmtSolver(integer_mode=integer_mode, bb_limit=bb_limit)
+        self._fresh = FreshNames("vc")
+        self.num_triple_checks = 0
+        self.num_feasibility_checks = 0
+        self.cache_hits = 0
+        #: Memoised triple verdicts.  CEGAR re-checks the same (state, edge,
+        #: predicate) obligations many times across ART nodes and refinement
+        #: rounds; the inputs are immutable, so caching is safe.
+        self._triple_cache: dict[tuple, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Hoare triples / inductiveness conditions
+    # ------------------------------------------------------------------
+    def check_triple(
+        self, pre: Formula, commands: Sequence[Command], post: Formula
+    ) -> bool:
+        """Validity of ``{pre} commands {post}``."""
+        self.num_triple_checks += 1
+        if isinstance(post, type(TRUE)) and post == TRUE:
+            return True
+        key = (pre, tuple(commands), post)
+        cached = self._triple_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        translation = ssa_translate(commands)
+        pre_ssa = rename_to_versions(pre, {}, {})
+        post_ssa = rename_to_versions(
+            post, translation.var_versions, translation.array_versions
+        )
+        obligation = conjoin(
+            [pre_ssa, translation.formula(), negate(post_ssa)]
+        )
+        verdict = self._is_unsat_obligation(obligation, translation)
+        self._triple_cache[key] = verdict
+        return verdict
+
+    def check_entailment(self, lhs: Formula, rhs: Formula) -> bool:
+        """``lhs |= rhs`` for state formulas (no commands involved)."""
+        return self.check_triple(lhs, (), rhs)
+
+    def holds_initially(self, formula: Formula) -> bool:
+        """Does ``formula`` hold in every state (i.e. is it valid)?"""
+        return self.check_triple(TRUE, (), formula)
+
+    # ------------------------------------------------------------------
+    # Path feasibility
+    # ------------------------------------------------------------------
+    def is_feasible(
+        self, commands: Sequence[Command], pre: Formula = TRUE
+    ) -> PathFeasibility:
+        """Is there a concrete execution of ``commands`` from a ``pre`` state?"""
+        self.num_feasibility_checks += 1
+        translation = ssa_translate(commands)
+        pre_ssa = rename_to_versions(pre, {}, {})
+        obligation = conjoin([pre_ssa, translation.formula()])
+        prepared = self._prepare(obligation, translation)
+        result = self.solver.check_sat(prepared)
+        return PathFeasibility(result.satisfiable, result.model, result.approximate)
+
+    # ------------------------------------------------------------------
+    # Shared pipeline
+    # ------------------------------------------------------------------
+    def _prepare(self, obligation: Formula, translation: SsaTranslation) -> Formula:
+        """Skolemise, resolve stores and instantiate quantifiers."""
+        skolemized = skolemize_negative(obligation, self._fresh)
+        resolved = resolve_stores(skolemized, translation.stores)
+        instantiated = instantiate_positive(resolved)
+        return instantiated
+
+    def _is_unsat_obligation(
+        self, obligation: Formula, translation: SsaTranslation
+    ) -> bool:
+        prepared = self._prepare(obligation, translation)
+        return self.solver.is_unsat(prepared)

@@ -1,0 +1,9 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: end-to-end CEGAR runs that take tens of seconds"
+    )

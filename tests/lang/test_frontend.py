@@ -1,0 +1,201 @@
+"""Tests for the mini-C front end: lexer, parser, type checker, CFG builder."""
+
+import pytest
+
+from repro.lang import (
+    CfgBuildError,
+    ParseError,
+    TypeCheckError,
+    check_function,
+    get_program,
+    list_programs,
+    parse_expression,
+    parse_function,
+    program_from_source,
+    safe_programs,
+    tokenize,
+    unsafe_programs,
+)
+from repro.lang.ast import ArrayAssignStmt, AssertStmt, ForStmt, IfStmt, WhileStmt
+from repro.lang.commands import ArrayAssign, Assign, Assume, Havoc
+from repro.lang.cfg import condition_to_formula, expr_to_linexpr
+from repro.lang.lexer import LexError
+from repro.lang.pretty import format_program, program_to_dot
+from repro.lang.programs import FORWARD, INITCHECK, PARTITION
+from repro.logic.formulas import Relation, TRUE
+from repro.logic.terms import Var
+
+
+class TestLexer:
+    def test_tokenize_keywords_and_symbols(self):
+        tokens = tokenize("while (i < n) { i = i + 1; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert kinds[-1] == "eof"
+        assert any(t.text == "<" for t in tokens)
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// comment\nx /* multi\nline */ = 1;")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["x", "=", "1", ";"]
+
+    def test_two_character_operators(self):
+        texts = [t.text for t in tokenize("a == b != c <= d >= e && f || g ++")]
+        assert "==" in texts and "!=" in texts and "&&" in texts and "++" in texts
+
+    def test_positions_are_tracked(self):
+        tokens = tokenize("x\ny")
+        assert tokens[1].position.line == 2
+
+    def test_rejects_unknown_characters(self):
+        with pytest.raises(LexError):
+            tokenize("x = $;")
+
+
+class TestParser:
+    def test_parse_forward(self):
+        function = parse_function(FORWARD)
+        assert function.name == "forward"
+        assert function.scalar_params() == ("n",)
+        kinds = [type(s).__name__ for s in function.body]
+        assert "WhileStmt" in kinds and "AssertStmt" in kinds
+
+    def test_parse_initcheck(self):
+        function = parse_function(INITCHECK)
+        assert function.array_params() == ("a",)
+        loops = [s for s in function.body if isinstance(s, ForStmt)]
+        assert len(loops) == 2
+        assert isinstance(loops[0].body.statements[0], ArrayAssignStmt)
+
+    def test_parse_partition(self):
+        function = parse_function(PARTITION)
+        loops = [s for s in function.body if isinstance(s, ForStmt)]
+        assert len(loops) == 3
+        assert isinstance(loops[0].body.statements[0], IfStmt)
+
+    def test_parse_expression(self):
+        expr = parse_expression("a + 2 * (b - 1)")
+        linear = expr_to_linexpr(expr)
+        assert linear.coeff(Var("b")) == 2
+        assert linear.const == -2
+
+    def test_increment_sugar(self):
+        function = parse_function("void f(int x) { x++; x += 3; x--; }")
+        assert len(function.body) == 3
+
+    def test_parenthesised_condition(self):
+        function = parse_function(
+            "void f(int x, int y) { if ((x + y) >= 0 && x <= 3) { y = 0; } }"
+        )
+        assert isinstance(function.body.statements[0], IfStmt)
+
+    def test_parse_error_reports_position(self):
+        with pytest.raises(ParseError):
+            parse_function("void f(int x) { x = ; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_function("void f(int x) { x = 1 }")
+
+
+class TestTypeCheck:
+    def test_undeclared_variable(self):
+        with pytest.raises(TypeCheckError):
+            check_function(parse_function("void f(int x) { y = 1; }"))
+
+    def test_scalar_used_as_array(self):
+        with pytest.raises(TypeCheckError):
+            check_function(parse_function("void f(int x) { x[0] = 1; }"))
+
+    def test_array_used_as_scalar(self):
+        with pytest.raises(TypeCheckError):
+            check_function(parse_function("void f(int a[]) { a = 1; }"))
+
+    def test_nonlinear_multiplication_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_function(parse_function("void f(int x, int y) { x = x * y; }"))
+
+    def test_valid_program_collects_symbols(self):
+        table = check_function(parse_function(INITCHECK))
+        assert table.scalars == {"i", "n"}
+        assert table.arrays == {"a"}
+
+
+class TestConditionTranslation:
+    def test_comparison_operators(self):
+        source = {"x == y": Relation.EQ, "x != y": Relation.NE, "x < y": Relation.LT, "x <= y": Relation.LE}
+        for text, expected in source.items():
+            function = parse_function(f"void f(int x, int y) {{ assume({text}); }}")
+            condition = function.body.statements[0].condition
+            atom = condition_to_formula(condition)
+            assert atom.rel is expected
+
+    def test_nondet_condition_is_true(self):
+        function = parse_function("void f(int x) { if (*) { x = 1; } else { x = 2; } }")
+        condition = function.body.statements[0].condition
+        assert condition_to_formula(condition) == TRUE
+
+
+class TestCfg:
+    def test_forward_structure(self):
+        program = get_program("forward")
+        assert program.initial.name == "L0"
+        assert program.error.name == "ERR"
+        assert len(program.loop_heads()) == 1
+        stats = program.stats()
+        assert stats["transitions"] == 8
+
+    def test_initcheck_structure(self):
+        program = get_program("initcheck")
+        assert len(program.loop_heads()) == 2
+        # one edge into the error location (the failed assertion)
+        assert len(program.incoming(program.error)) == 1
+
+    def test_assert_creates_error_edge(self):
+        program = program_from_source("void f(int x) { assert(x >= 0); }")
+        error_edges = program.incoming(program.error)
+        assert len(error_edges) == 1
+        guard = error_edges[0].commands[0]
+        assert isinstance(guard, Assume)
+
+    def test_nondet_assignment_becomes_havoc(self):
+        program = program_from_source("void f(int x) { x = nondet(); assert(x == x); }")
+        commands = [c for t in program.transitions for c in t.commands]
+        assert any(isinstance(c, Havoc) for c in commands)
+
+    def test_compaction_reduces_locations(self):
+        fine = program_from_source(FORWARD, do_compact=False)
+        coarse = program_from_source(FORWARD, do_compact=True)
+        assert len(coarse.locations) < len(fine.locations)
+        assert len(coarse.loop_heads()) == len(fine.loop_heads()) == 1
+
+    def test_reachable_locations(self):
+        program = get_program("forward")
+        assert program.error in program.reachable_locations()
+
+    def test_array_write_command(self):
+        program = get_program("initcheck")
+        commands = [c for t in program.transitions for c in t.commands]
+        assert any(isinstance(c, ArrayAssign) for c in commands)
+
+    def test_pretty_and_dot_output(self):
+        program = get_program("forward")
+        text = format_program(program)
+        assert "program forward" in text and "ERR" in text
+        dot = program_to_dot(program)
+        assert dot.startswith("digraph") and '"ERR"' in dot
+
+
+class TestProgramRegistry:
+    def test_all_programs_build(self):
+        for name in list_programs():
+            program = get_program(name)
+            assert program.transitions, name
+
+    def test_safe_unsafe_partition(self):
+        assert set(safe_programs()) | set(unsafe_programs()) == set(list_programs())
+        assert "forward" in safe_programs()
+        assert "initcheck_buggy" in unsafe_programs()
+
+    def test_expected_count(self):
+        assert len(list_programs()) >= 15

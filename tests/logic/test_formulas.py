@@ -1,0 +1,174 @@
+"""Tests for formulas, smart constructors and negation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.formulas import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Forall,
+    Not,
+    Or,
+    Relation,
+    conjoin,
+    conjuncts,
+    disjoin,
+    disjuncts,
+    eq,
+    ge,
+    gt,
+    implies_formula,
+    le,
+    lt,
+    ne,
+    negate,
+)
+from repro.logic.terms import ArrayRead, LinExpr, Var, const, read, var
+
+
+class TestAtoms:
+    def test_eq_normalisation(self):
+        atom = eq(var("x") + const(1), var("y"))
+        assert atom.rel is Relation.EQ
+        assert atom.expr == var("x") - var("y") + const(1)
+
+    def test_comparison_helpers(self):
+        assert le(var("x"), 3).rel is Relation.LE
+        assert lt(var("x"), 3).rel is Relation.LT
+        assert ge(var("x"), 3).expr == const(3) - var("x")
+        assert gt(var("x"), 3).expr == const(3) - var("x")
+        assert ne(var("x"), 3).rel is Relation.NE
+
+    def test_atom_negation_roundtrip(self):
+        atom = le(var("x"), 5)
+        assert atom.negated().negated() == atom
+
+    def test_trivial_atoms(self):
+        assert le(const(0), 1).is_trivially_true()
+        assert le(const(2), 1).is_trivially_false()
+
+    def test_evaluation(self):
+        atom = lt(var("x"), var("y"))
+        assert atom.evaluate({Var("x"): 1, Var("y"): 2})
+        assert not atom.evaluate({Var("x"): 2, Var("y"): 2})
+
+
+class TestSmartConstructors:
+    def test_conjoin_flattens_and_dedupes(self):
+        a, b = le(var("x"), 1), le(var("y"), 2)
+        formula = conjoin([a, conjoin([a, b])])
+        assert isinstance(formula, And)
+        assert set(formula.args) == {a, b}
+
+    def test_conjoin_false_short_circuit(self):
+        assert conjoin([le(var("x"), 1), FALSE]) == FALSE
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]) == TRUE
+
+    def test_disjoin_true_short_circuit(self):
+        assert disjoin([TRUE, le(var("x"), 1)]) == TRUE
+
+    def test_disjoin_empty_is_false(self):
+        assert disjoin([]) == FALSE
+
+    def test_conjuncts_and_disjuncts(self):
+        a, b = le(var("x"), 1), le(var("y"), 2)
+        assert set(conjuncts(conjoin([a, b]))) == {a, b}
+        assert set(disjuncts(disjoin([a, b]))) == {a, b}
+        assert conjuncts(a) == (a,)
+
+    def test_operator_overloads(self):
+        a, b = le(var("x"), 1), le(var("y"), 2)
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert (~a) == a.negated()
+
+
+class TestNegation:
+    def test_de_morgan(self):
+        a, b = le(var("x"), 1), le(var("y"), 2)
+        negated = negate(conjoin([a, b]))
+        assert isinstance(negated, Or)
+        assert set(negated.args) == {a.negated(), b.negated()}
+
+    def test_negate_constants(self):
+        assert negate(TRUE) == FALSE
+        assert negate(FALSE) == TRUE
+
+    def test_negate_forall_wraps(self):
+        formula = Forall(Var("k"), eq(read("a", var("k")), 0))
+        assert isinstance(negate(formula), Not)
+
+    def test_implies(self):
+        a, b = le(var("x"), 1), le(var("y"), 2)
+        formula = implies_formula(a, b)
+        assert isinstance(formula, Or)
+        assert a.negated() in formula.args and b in formula.args
+
+
+class TestStructuralQueries:
+    def test_variables_and_arrays(self):
+        formula = conjoin([le(var("x"), var("n")), eq(read("a", var("i")), 0)])
+        assert formula.variables() == {Var("x"), Var("n"), Var("i")}
+        assert formula.arrays() == {"a"}
+
+    def test_forall_hides_bound_variable(self):
+        formula = Forall(Var("k"), eq(read("a", var("k")), var("c")))
+        assert Var("k") not in formula.variables()
+        assert Var("c") in formula.variables()
+
+    def test_forall_instantiate(self):
+        formula = Forall(Var("k"), eq(read("a", var("k")), 0))
+        instance = formula.instantiate(var("i") + const(1))
+        reads = instance.array_reads()
+        assert {r.index for r in reads} == {var("i") + const(1)}
+
+    def test_rename_avoids_bound_variable(self):
+        formula = Forall(Var("k"), eq(read("a", var("k")), var("c")))
+        renamed = formula.rename({"k": "zzz", "c": "d"})
+        assert isinstance(renamed, Forall)
+        assert Var("d") in renamed.variables()
+        assert renamed.bound_variable() == Var("k")
+
+    def test_has_quantifier(self):
+        plain = le(var("x"), 1)
+        assert not plain.has_quantifier()
+        assert conjoin([plain, Forall(Var("k"), plain)]).has_quantifier()
+
+    def test_atoms_collection(self):
+        a, b = le(var("x"), 1), eq(var("y"), 2)
+        assert conjoin([a, disjoin([b, a])]).atoms() == {a, b}
+
+
+names = st.sampled_from(["x", "y", "z"])
+
+
+@st.composite
+def simple_atoms(draw):
+    left = var(draw(names)) * draw(st.integers(-3, 3)) + const(draw(st.integers(-3, 3)))
+    rel = draw(st.sampled_from([Relation.LE, Relation.LT, Relation.EQ, Relation.NE]))
+    return Atom(left, rel)
+
+
+@st.composite
+def simple_valuations(draw):
+    return {Var(n): Fraction(draw(st.integers(-5, 5))) for n in ["x", "y", "z"]}
+
+
+@given(simple_atoms(), simple_valuations())
+@settings(max_examples=80, deadline=None)
+def test_atom_negation_flips_evaluation(atom, valuation):
+    assert atom.evaluate(valuation) != atom.negated().evaluate(valuation)
+
+
+@given(st.lists(simple_atoms(), min_size=1, max_size=4), simple_valuations())
+@settings(max_examples=80, deadline=None)
+def test_de_morgan_semantics(atoms, valuation):
+    formula = conjoin(atoms)
+    assert negate(formula).evaluate(valuation) == (not formula.evaluate(valuation))

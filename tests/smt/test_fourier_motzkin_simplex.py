@@ -1,0 +1,187 @@
+"""Tests for the linear-arithmetic engines (Fourier–Motzkin and simplex)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.formulas import Relation
+from repro.logic.terms import LinExpr, Var, const, var
+from repro.smt.fourier_motzkin import eliminate_variable, project, satisfiable
+from repro.smt.linear import LinConstraint, normalize_constraint, tighten_integer
+from repro.smt.simplex import LPStatus, feasible, solve_lp
+
+
+def c_le(expr):
+    return LinConstraint(expr, Relation.LE)
+
+
+def c_lt(expr):
+    return LinConstraint(expr, Relation.LT)
+
+
+def c_eq(expr):
+    return LinConstraint(expr, Relation.EQ)
+
+
+class TestLinConstraint:
+    def test_normalisation_scales_to_coprime_integers(self):
+        constraint = normalize_constraint(c_le(var("x") * Fraction(2, 4) + const(1)))
+        assert constraint.expr == var("x") + const(2)
+
+    def test_integer_tightening_of_strict(self):
+        tightened = tighten_integer(c_lt(var("x") - var("n")))
+        assert tightened.rel is Relation.LE
+        assert tightened.expr == var("x") - var("n") + const(1)
+
+    def test_integer_tightening_of_fractional_constant(self):
+        tightened = tighten_integer(c_le(var("x") - const(Fraction(5, 2))))
+        assert tightened.expr == var("x") - const(2)
+
+    def test_rejects_array_reads(self):
+        from repro.logic.terms import read
+
+        with pytest.raises(ValueError):
+            LinConstraint(read("a", "i"), Relation.LE)
+
+    def test_rejects_disequality(self):
+        with pytest.raises(ValueError):
+            LinConstraint(var("x"), Relation.NE)
+
+
+class TestFourierMotzkin:
+    def test_satisfiable_system_returns_model(self):
+        model = satisfiable([c_le(var("x") - 5), c_le(const(3) - var("x"))])
+        assert model is not None
+        assert 3 <= model[Var("x")] <= 5
+
+    def test_unsatisfiable_bounds(self):
+        assert satisfiable([c_le(var("x") - 1), c_le(const(2) - var("x"))]) is None
+
+    def test_strict_inequality_contradiction(self):
+        # x < 0 and x > 0
+        assert satisfiable([c_lt(var("x")), c_lt(-var("x"))]) is None
+
+    def test_strict_inequalities_satisfiable(self):
+        model = satisfiable([c_lt(var("x") - 1), c_lt(-var("x"))])
+        assert model is not None
+        assert 0 < model[Var("x")] < 1
+
+    def test_equality_substitution(self):
+        model = satisfiable([c_eq(var("x") - var("y") - 1), c_le(var("y") - 3), c_le(const(3) - var("y"))])
+        assert model is not None
+        assert model[Var("x")] == model[Var("y")] + 1 == 4
+
+    def test_model_satisfies_all_constraints(self):
+        constraints = [
+            c_le(var("x") + var("y") - 10),
+            c_le(const(2) - var("x")),
+            c_eq(var("y") - var("x") - 1),
+        ]
+        model = satisfiable(constraints)
+        assert model is not None
+        for constraint in constraints:
+            value = sum(
+                coeff * model.get(v, Fraction(0)) for v, coeff in constraint.expr.terms
+            ) + constraint.expr.const
+            assert value <= 0 if constraint.rel is Relation.LE else value == 0
+
+    def test_projection_derives_transitive_bound(self):
+        # x <= y and y <= 5 projected onto {x} gives x <= 5.
+        projected = project([c_le(var("x") - var("y")), c_le(var("y") - 5)], [Var("y")])
+        assert projected is not None
+        assert any(c.expr == var("x") - const(5) for c in projected)
+
+    def test_projection_of_unsat_system(self):
+        assert project([c_le(var("x") - 1), c_le(const(2) - var("x"))], [Var("x")]) is None
+
+    def test_eliminate_variable_via_equality(self):
+        reduced, step = eliminate_variable([c_eq(var("x") - var("y")), c_le(var("x") - 3)], Var("x"))
+        assert step.definition is not None
+        assert any(c.expr == var("y") - const(3) for c in reduced)
+
+
+class TestSimplex:
+    def test_feasible_system(self):
+        model = feasible([c_le(var("x") - 5), c_le(const(3) - var("x"))])
+        assert model is not None
+        assert 3 <= model[Var("x")] <= 5
+
+    def test_infeasible_system(self):
+        assert feasible([c_le(var("x") - 1), c_le(const(2) - var("x"))]) is None
+
+    def test_negative_values_allowed(self):
+        model = feasible([c_le(var("x") + 5), c_le(const(-10) - var("x"))])
+        assert model is not None
+        assert model[Var("x")] <= -5
+
+    def test_equalities(self):
+        model = feasible([c_eq(var("x") + var("y") - 4), c_eq(var("x") - var("y"))])
+        assert model is not None
+        assert model[Var("x")] == model[Var("y")] == 2
+
+    def test_optimisation(self):
+        result = solve_lp(
+            [c_le(var("x") - 10), c_le(-var("x"))], objective=var("x"), maximize=True
+        )
+        assert result.status == LPStatus.OPTIMAL
+        assert result.objective == 10
+
+    def test_minimisation(self):
+        result = solve_lp(
+            [c_le(var("x") - 10), c_le(const(2) - var("x"))], objective=var("x"), maximize=False
+        )
+        assert result.objective == 2
+
+    def test_unbounded(self):
+        result = solve_lp([c_le(-var("x"))], objective=var("x"), maximize=True)
+        assert result.status == LPStatus.UNBOUNDED
+
+    def test_rejects_strict(self):
+        with pytest.raises(ValueError):
+            solve_lp([c_lt(var("x"))])
+
+
+# ----------------------------------------------------------------------
+# Property: Fourier–Motzkin and simplex agree on feasibility.
+# ----------------------------------------------------------------------
+var_names = st.sampled_from(["x", "y", "z"])
+
+
+@st.composite
+def random_constraints(draw):
+    constraints = []
+    for _ in range(draw(st.integers(1, 6))):
+        expr = const(draw(st.integers(-6, 6)))
+        for name in ["x", "y", "z"]:
+            expr = expr + var(name) * draw(st.integers(-3, 3))
+        rel = draw(st.sampled_from([Relation.LE, Relation.EQ]))
+        constraints.append(LinConstraint(expr, rel))
+    return constraints
+
+
+@given(random_constraints())
+@settings(max_examples=60, deadline=None)
+def test_fm_and_simplex_agree(constraints):
+    fm_model = satisfiable(constraints)
+    simplex_model = feasible(constraints)
+    assert (fm_model is None) == (simplex_model is None)
+
+
+@given(random_constraints())
+@settings(max_examples=60, deadline=None)
+def test_fm_model_is_a_real_witness(constraints):
+    model = satisfiable(constraints)
+    if model is None:
+        return
+    for constraint in constraints:
+        value = sum(
+            coeff * model.get(v, Fraction(0)) for v, coeff in constraint.expr.terms
+        ) + constraint.expr.const
+        if constraint.rel is Relation.LE:
+            assert value <= 0
+        elif constraint.rel is Relation.LT:
+            assert value < 0
+        else:
+            assert value == 0

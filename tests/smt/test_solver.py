@@ -1,0 +1,152 @@
+"""Tests for the LRA conjunction solver and the quantifier-free SMT solver."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.formulas import Relation, conjoin, disjoin, eq, ge, gt, le, lt, ne
+from repro.logic.terms import Var, const, read, var
+from repro.smt.lra import LraSolver
+from repro.smt.solver import SmtSolver
+
+
+class TestLraSolver:
+    def test_simple_sat(self):
+        result = LraSolver().check([le(var("x"), 5), ge(var("x"), 3)])
+        assert result.satisfiable
+
+    def test_simple_unsat(self):
+        result = LraSolver().check([le(var("x"), 1), ge(var("x"), 2)])
+        assert not result.satisfiable
+
+    def test_integer_mode_strict_chain(self):
+        # 0 < n and n < 1 has rational solutions but no integer ones.
+        solver = LraSolver(integer_mode=True)
+        assert not solver.check([lt(const(0), var("n")), lt(var("n"), const(1))]).satisfiable
+
+    def test_rational_mode_strict_chain(self):
+        solver = LraSolver(integer_mode=False)
+        assert solver.check([lt(const(0), var("n")), lt(var("n"), const(1))]).satisfiable
+
+    def test_branch_and_bound_fractional_equality(self):
+        # 2x = 1 has no integer solution.
+        solver = LraSolver(integer_mode=True)
+        assert not solver.check([eq(var("x") * 2, const(1))]).satisfiable
+
+    def test_entails(self):
+        solver = LraSolver()
+        assert solver.entails([le(var("x"), 3)], le(var("x"), 5))
+        assert not solver.entails([le(var("x"), 5)], le(var("x"), 3))
+
+    def test_entails_equality(self):
+        solver = LraSolver()
+        assert solver.entails([le(var("x"), 3), ge(var("x"), 3)], eq(var("x"), 3))
+
+    def test_integer_entailment_strict_to_nonstrict(self):
+        # Over integers, i < n entails i <= n - 1.
+        solver = LraSolver(integer_mode=True)
+        assert solver.entails([lt(var("i"), var("n"))], le(var("i"), var("n") - const(1)))
+
+    def test_rejects_disequalities(self):
+        with pytest.raises(ValueError):
+            LraSolver().check([ne(var("x"), 1)])
+
+
+class TestSmtSolver:
+    def test_disjunction(self):
+        solver = SmtSolver()
+        formula = disjoin([le(var("x"), 0), ge(var("x"), 10)])
+        assert solver.is_sat(formula)
+
+    def test_disequality_split(self):
+        solver = SmtSolver()
+        assert solver.is_sat(ne(var("x"), 0))
+        assert not solver.is_sat(conjoin([ne(var("x"), 0), eq(var("x"), 0)]))
+
+    def test_model_extraction(self):
+        solver = SmtSolver()
+        model = solver.get_model(conjoin([ge(var("x"), 4), le(var("x"), 4)]))
+        assert model is not None
+        assert model[Var("x")] == 4
+
+    def test_entails(self):
+        solver = SmtSolver()
+        assert solver.entails(conjoin([le(var("x"), 3), le(var("y"), var("x"))]), le(var("y"), 3))
+
+    def test_equivalence(self):
+        solver = SmtSolver()
+        assert solver.equivalent(le(var("x") * 2, 4), le(var("x"), 2))
+
+    def test_rejects_quantifiers(self):
+        from repro.logic.formulas import Forall
+
+        solver = SmtSolver()
+        with pytest.raises(ValueError):
+            solver.is_sat(Forall(Var("k"), eq(read("a", var("k")), 0)))
+
+    # -- array reads as uninterpreted functions --------------------------
+    def test_functionality_enforced(self):
+        solver = SmtSolver()
+        # i = j but a[i] != a[j] is unsatisfiable.
+        formula = conjoin([eq(var("i"), var("j")), ne(read("a", var("i")), read("a", var("j")))])
+        assert not solver.is_sat(formula)
+
+    def test_different_indices_may_differ(self):
+        solver = SmtSolver()
+        formula = conjoin([ne(var("i"), var("j")), ne(read("a", var("i")), read("a", var("j")))])
+        assert solver.is_sat(formula)
+
+    def test_reads_of_different_arrays_are_independent(self):
+        solver = SmtSolver()
+        formula = conjoin([eq(var("i"), var("j")), ne(read("a", var("i")), read("b", var("j")))])
+        assert solver.is_sat(formula)
+
+    def test_read_chain_entailment(self):
+        solver = SmtSolver()
+        antecedent = conjoin([eq(read("a", var("i")), 0), eq(var("j"), var("i"))])
+        assert solver.entails(antecedent, eq(read("a", var("j")), 0))
+
+    def test_statistics_counters(self):
+        solver = SmtSolver()
+        solver.is_sat(le(var("x"), 1))
+        solver.entails(le(var("x"), 1), le(var("x"), 2))
+        assert solver.num_sat_queries >= 2
+        assert solver.num_entailment_queries == 1
+
+
+# ----------------------------------------------------------------------
+# Property: the QF solver agrees with brute-force evaluation over a grid.
+# ----------------------------------------------------------------------
+@st.composite
+def qf_formulas(draw):
+    def atom():
+        expr = const(draw(st.integers(-3, 3)))
+        for name in ["x", "y"]:
+            expr = expr + var(name) * draw(st.integers(-2, 2))
+        rel = draw(st.sampled_from([Relation.LE, Relation.EQ, Relation.LT, Relation.NE]))
+        from repro.logic.formulas import Atom
+
+        return Atom(expr, rel)
+
+    parts = [atom() for _ in range(draw(st.integers(1, 3)))]
+    if draw(st.booleans()):
+        return conjoin(parts)
+    return disjoin(parts)
+
+
+@given(qf_formulas())
+@settings(max_examples=50, deadline=None)
+def test_solver_agrees_with_grid_search(formula):
+    solver = SmtSolver(integer_mode=True)
+    reported = solver.is_sat(formula)
+    grid_sat = any(
+        formula.evaluate({Var("x"): Fraction(x), Var("y"): Fraction(y)})
+        for x in range(-6, 7)
+        for y in range(-6, 7)
+    )
+    # The grid only covers [-6, 6]^2, so it can miss models the solver finds,
+    # but it can never find a model the solver misses.
+    if grid_sat:
+        assert reported
