@@ -1,0 +1,127 @@
+"""S1 — solver micro-benchmark: lazy case splitting vs eager DNF expansion.
+
+Times ``check_sat``/``entails`` on the verification-condition shapes the
+CEGAR pipeline produces — deep conjunctions, disequality splits, and
+read-over-write style case splits — and records how many theory-solver calls
+(incremental-simplex feasibility checks for the lazy engine, conjunction
+solves for the eager oracle) and how many DNF cubes each query costs.  This
+gives future solver PRs a trajectory to compare against: the lazy engine
+must stay well ahead of eager enumeration on disjunction-heavy shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import record, run_once
+from repro.logic.formulas import conjoin, disjoin, eq, ge, implies_formula, le, ne
+from repro.logic.terms import const, read, var
+from repro.logic.transform import cube_size_of
+from repro.smt.solver import SmtSolver
+
+
+def deep_conjunction(size: int = 24):
+    """A long chain x0 <= x1 <= ... with consistent bounds (no splits)."""
+    parts = [le(var(f"x{k}"), var(f"x{k+1}")) for k in range(size)]
+    parts += [ge(var("x0"), 0), le(var(f"x{size}"), size)]
+    return conjoin(parts)
+
+
+def disequality_splits(size: int = 5):
+    """A cluster of disequalities over a narrow integer range (unsat)."""
+    parts = [le(const(0), var(f"d{k}")) for k in range(size)]
+    parts += [le(var(f"d{k}"), const(1)) for k in range(size)]
+    parts += [ne(var(f"d{k}"), var(f"d{k+1}")) for k in range(size - 1)]
+    parts += [ne(var(f"d{k}"), const(1)) for k in range(size)]
+    parts += [ne(var(f"d{k}"), const(0)) for k in range(0, size, 2)]
+    return conjoin(parts)
+
+
+def read_over_write_splits(size: int = 4):
+    """Chained read-over-write case splits as resolve_stores produces them."""
+    cases = []
+    for k in range(size):
+        hit = conjoin([eq(var("t"), var(f"i{k}")), eq(read("a", var("t")), var(f"v{k}"))])
+        miss = conjoin([ne(var("t"), var(f"i{k}")), eq(read("a", var("t")), read("b", var("t")))])
+        cases.append(disjoin([hit, miss]))
+    cases.append(eq(read("b", var("t")), 7))
+    cases.append(ne(read("a", var("t")), 7))
+    for k in range(size):
+        cases.append(ne(var("t"), var(f"i{k}")))
+    return conjoin(cases)
+
+
+def instantiation_implications(size: int = 6):
+    """Implication chains like instantiated array-property hypotheses."""
+    parts = []
+    for k in range(size):
+        bound = conjoin([le(const(0), var(f"k{k}")), le(var(f"k{k}"), var("n"))])
+        parts.append(implies_formula(bound, eq(read("a", var(f"k{k}")), 0)))
+        parts.append(le(const(0), var(f"k{k}")))
+        parts.append(le(var(f"k{k}"), var("n")))
+    parts.append(ne(read("a", var("k0")), 0))
+    return conjoin(parts)
+
+
+_SHAPES = {
+    "deep_conjunction": deep_conjunction,
+    "disequality_splits": disequality_splits,
+    "read_over_write": read_over_write_splits,
+    "instantiation": instantiation_implications,
+}
+
+#: Shapes whose boolean structure actually branches (the 5x claim applies
+#: to these; a pure conjunction has nothing to split).
+_DISJUNCTIVE = ("disequality_splits", "read_over_write", "instantiation")
+
+
+def _theory_calls_lazy(formula) -> tuple[int, dict]:
+    solver = SmtSolver()
+    solver.check_sat(formula)
+    # Conjunction-level feasibility decisions: pivot-loop checks plus
+    # assert-time conflicts, across pruning, lookaheads, branch-and-bound
+    # and functionality loops.
+    return solver.stats.simplex_checks, solver.cache_info()
+
+
+def _theory_calls_eager(formula) -> int:
+    solver = SmtSolver()
+    solver.check_sat_eager(formula)
+    # The comparable unit on the eager side: one theory decision per cube
+    # conjunction handed to the LRA solver (disequality recursion included).
+    return solver.lra.num_checks
+
+
+@pytest.mark.parametrize("shape", sorted(_SHAPES))
+def test_lazy_solver_on_shape(benchmark, shape):
+    formula = _SHAPES[shape]()
+    solver = SmtSolver()
+    result = run_once(benchmark, solver.check_sat, formula)
+    lazy_calls, info = _theory_calls_lazy(formula)
+    eager_calls = _theory_calls_eager(formula)
+    cubes = cube_size_of(formula)
+    record(
+        benchmark,
+        satisfiable=result.satisfiable,
+        dnf_cubes=cubes,
+        lazy_theory_calls=lazy_calls,
+        eager_theory_calls=eager_calls,
+        splits=info["splits"],
+        pruned_branches=info["pruned_branches"],
+    )
+    if shape in _DISJUNCTIVE:
+        # Acceptance: the lazy engine does at least 5x fewer theory-solver
+        # calls than eager DNF enumeration on disjunction-heavy shapes.
+        assert lazy_calls * 5 <= eager_calls, (
+            f"lazy={lazy_calls} eager={eager_calls} on {shape}"
+        )
+
+
+def test_entailment_shapes(benchmark):
+    """entails() on a transitivity query over a deep conjunction."""
+    antecedent = deep_conjunction(16)
+    consequent = le(var("x0"), var("x16"))
+    solver = SmtSolver()
+    result = run_once(benchmark, solver.entails, antecedent, consequent)
+    record(benchmark, entailed=result)
+    assert result

@@ -39,6 +39,10 @@ class IterationRecord:
     counterexample_feasible: Optional[bool] = None
     refinement: Optional[RefinementOutcome] = None
     seconds: float = 0.0
+    #: Cumulative checker/solver counters at the end of the iteration (the
+    #: shared VcChecker memoises queries across iterations, so deltas between
+    #: consecutive records show what each round actually cost).
+    solver_stats: Optional[dict[str, int]] = None
 
 
 @dataclass
@@ -77,6 +81,15 @@ class CegarResult:
             f"predicates:   {self.total_predicates()}",
             f"time:         {self.total_seconds:.2f}s",
         ]
+        if self.iterations and self.iterations[-1].solver_stats:
+            stats = self.iterations[-1].solver_stats
+            lines.append(
+                "solver:       "
+                f"{stats.get('sat_queries', 0)} sat queries, "
+                f"{stats.get('cache_hits', 0)} cache hits, "
+                f"{stats.get('splits', 0)} splits, "
+                f"{stats.get('triple_cache_hits', 0)} triple cache hits"
+            )
         if self.reason:
             lines.append(f"reason:       {self.reason}")
         return "\n".join(lines)
@@ -111,14 +124,18 @@ class CegarLoop:
             record = IterationRecord(iteration, outcome)
             iterations.append(record)
 
+            def seal(record: IterationRecord = record, started: float = iteration_start) -> None:
+                record.seconds = time.perf_counter() - started
+                record.solver_stats = self.checker.statistics()
+
             if outcome.exhausted:
-                record.seconds = time.perf_counter() - iteration_start
+                seal()
                 return self._finish(
                     Verdict.UNKNOWN, precision, iterations, start,
                     reason="abstract reachability exceeded its node budget",
                 )
             if outcome.counterexample is None:
-                record.seconds = time.perf_counter() - iteration_start
+                seal()
                 return self._finish(Verdict.SAFE, precision, iterations, start)
 
             path = outcome.counterexample
@@ -126,7 +143,7 @@ class CegarLoop:
             analysis = analyze_counterexample(path, self.checker)
             record.counterexample_feasible = analysis.feasible
             if analysis.feasible:
-                record.seconds = time.perf_counter() - iteration_start
+                seal()
                 result = self._finish(Verdict.UNSAFE, precision, iterations, start)
                 result.counterexample = analysis
                 if analysis.approximate:
@@ -134,7 +151,7 @@ class CegarLoop:
                 return result
 
             if iteration == self.max_refinements:
-                record.seconds = time.perf_counter() - iteration_start
+                seal()
                 return self._finish(
                     Verdict.UNKNOWN, precision, iterations, start,
                     reason=f"refinement budget of {self.max_refinements} exhausted",
@@ -142,7 +159,7 @@ class CegarLoop:
 
             refinement = self.refiner.refine(self.program, path, precision)
             record.refinement = refinement
-            record.seconds = time.perf_counter() - iteration_start
+            seal()
             if not refinement.progress:
                 return self._finish(
                     Verdict.UNKNOWN, precision, iterations, start,

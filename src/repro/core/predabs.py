@@ -125,7 +125,12 @@ class AbstractReachability:
         """Breadth-first abstract reachability from the initial location."""
         root = ArtNode(self.program.initial, frozenset(), node_id=0)
         worklist: list[ArtNode] = [root]
-        reached: dict[Location, list[ArtNode]] = {self.program.initial: [root]}
+        # Subsumption index: the distinct abstract states already reached at
+        # each location.  Coverage only needs the state sets, so checking a
+        # new node scans the (few) distinct states instead of every node.
+        reached: dict[Location, set[frozenset[Formula]]] = {
+            self.program.initial: {root.state}
+        }
         created = 1
         expanded = 0
 
@@ -153,7 +158,7 @@ class AbstractReachability:
                 if self._is_covered(child, reached):
                     child.covered_by = child  # marker; the node is not expanded
                     continue
-                reached.setdefault(child.location, []).append(child)
+                reached.setdefault(child.location, set()).add(child.state)
                 worklist.append(child)
                 if created > self.max_nodes:
                     return ReachabilityOutcome(None, expanded, created, exhausted=True)
@@ -184,9 +189,19 @@ class AbstractReachability:
         return frozenset(successors)
 
     @staticmethod
-    def _is_covered(node: ArtNode, reached: dict[Location, list[ArtNode]]) -> bool:
-        """A node is covered by an existing node with a weaker abstract state."""
-        for other in reached.get(node.location, []):
-            if other.covered_by is None and other.state.issubset(node.state):
-                return True
-        return False
+    def _is_covered(
+        node: ArtNode, reached: dict[Location, set[frozenset[Formula]]]
+    ) -> bool:
+        """A node is covered by an existing node with a weaker abstract state.
+
+        ``reached`` holds the distinct abstract states per location (nodes in
+        the index are never covered later, so states alone suffice); an exact
+        membership test catches the common duplicate-state case before the
+        subset scan.
+        """
+        states = reached.get(node.location)
+        if states is None:
+            return False
+        if node.state in states:
+            return True
+        return any(state.issubset(node.state) for state in states)

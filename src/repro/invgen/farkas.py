@@ -218,7 +218,7 @@ class FarkasEngine:
             if outcome.satisfiable and outcome.model is not None:
                 solutions.append(dict(outcome.model))
 
-        seen: set[Formula] = set()
+        seen: set[tuple[Location, Formula]] = set()
         for solution in solutions:
             candidate = {
                 loc: conjoin([t.instantiate(solution) for t in ts]) for loc, ts in eq_map.items()
@@ -227,8 +227,8 @@ class FarkasEngine:
                 continue
             for loc, formula in candidate.items():
                 for part in conjuncts(formula):
-                    if part not in seen and part != TRUE:
-                        seen.add(part)
+                    if (loc, part) not in seen and part != TRUE:
+                        seen.add((loc, part))
                         found[loc].append(part)
         return found
 
@@ -300,14 +300,21 @@ class FarkasEngine:
         for combo in itertools.islice(combos, 0, 5000):
             constraints: list[Atom] = []
             for obligation, variant, target, source_le, slots in plans:
-                source_templates = eq_map.get(obligation.path.source, [])
                 extra_eq = [
                     part.expr.rename(obligation.initial_renaming)
                     for part in equalities.get(obligation.path.source, [])
                     if isinstance(part, Atom) and part.rel is Relation.EQ
                 ]
+                # The equalities found in phase 1 enter as *concrete*
+                # hypotheses only.  Passing the symbolic equality template
+                # here (as the consecution encoding of phase 1 does) would
+                # let the LP instantiate it to a false hypothesis such as
+                # ``1 = 0`` — its parameters are not re-established by any
+                # phase-2 row — and "refute" every error path, so every
+                # grid combination would solve the LP trivially and then
+                # fail re-verification.
                 hypotheses = self._hypotheses(
-                    obligation, variant, source_templates, extra_eq, Fraction(1)
+                    obligation, variant, [], extra_eq, Fraction(1)
                 )
                 for template, slot in zip(source_le, slots):
                     hypotheses.append(

@@ -10,17 +10,20 @@ The formula language mirrors the assertion language of the paper:
   ``Forall(k, body)`` where the body is typically an implication of the form
   ``lower <= k /\\ k <= upper  ->  a[k] = rhs``.
 
-All formula objects are immutable and hashable so they can be used as
-predicates inside sets (the predicate abstraction keeps per-location sets of
-formulas).
+All formula objects are immutable, hashable and **hash-consed**: constructing
+a node returns the unique interned instance for its content, equality is a
+pointer comparison in the common case, ``__hash__`` reads a cached field, and
+the structural queries (``variables()``, ``array_reads()``, ``atoms()``) are
+computed once per node and shared as frozensets.  This makes the pervasive
+set/dict operations of the predicate abstraction (per-location predicate
+sets, ART state subsumption, VC memo keys) cheap regardless of formula size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from fractions import Fraction
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping
 
 from .terms import ArrayRead, Atomic, LinExpr, Rat, Var, coerce_expr
 
@@ -78,19 +81,51 @@ _NEGATIONS = {
 
 
 class Formula:
-    """Base class of all formulas.  Subclasses are frozen dataclasses."""
+    """Base class of all formulas.  Subclasses are interned immutable nodes."""
+
+    __slots__ = ("_hash", "_variables", "_array_reads", "_atoms")
+
+    def _init_caches(self, hash_value: int) -> None:
+        self._hash = hash_value
+        self._variables = None
+        self._array_reads = None
+        self._atoms = None
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- structural queries -------------------------------------------------
-    def variables(self) -> set[Var]:
-        raise NotImplementedError
+    def variables(self) -> frozenset[Var]:
+        cached = self._variables
+        if cached is None:
+            cached = frozenset(self._compute_variables())
+            self._variables = cached
+        return cached
 
-    def array_reads(self) -> set[ArrayRead]:
-        raise NotImplementedError
+    def array_reads(self) -> frozenset[ArrayRead]:
+        cached = self._array_reads
+        if cached is None:
+            cached = frozenset(self._compute_array_reads())
+            self._array_reads = cached
+        return cached
+
+    def atoms(self) -> frozenset["Atom"]:
+        cached = self._atoms
+        if cached is None:
+            cached = frozenset(self._compute_atoms())
+            self._atoms = cached
+        return cached
 
     def arrays(self) -> set[str]:
         return {r.array for r in self.array_reads()}
 
-    def atoms(self) -> set["Atom"]:
+    def _compute_variables(self) -> Iterable[Var]:
+        raise NotImplementedError
+
+    def _compute_array_reads(self) -> Iterable[ArrayRead]:
+        raise NotImplementedError
+
+    def _compute_atoms(self) -> Iterable["Atom"]:
         raise NotImplementedError
 
     def has_quantifier(self) -> bool:
@@ -126,20 +161,40 @@ class Formula:
         return negate(self)
 
 
-@dataclass(frozen=True)
 class BoolConst(Formula):
     """The constants ``true`` and ``false``."""
 
-    value: bool
+    __slots__ = ("value",)
 
-    def variables(self) -> set[Var]:
-        return set()
+    _intern: dict[bool, "BoolConst"] = {}
 
-    def array_reads(self) -> set[ArrayRead]:
-        return set()
+    def __new__(cls, value: bool) -> "BoolConst":
+        cached = cls._intern.get(value)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.value = value
+        self._init_caches(hash((BoolConst, value)))
+        cls._intern[value] = self
+        return self
 
-    def atoms(self) -> set["Atom"]:
-        return set()
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, BoolConst):
+            return self.value == other.value
+        return NotImplemented
+
+    __hash__ = Formula.__hash__
+
+    def _compute_variables(self) -> Iterable[Var]:
+        return ()
+
+    def _compute_array_reads(self) -> Iterable[ArrayRead]:
+        return ()
+
+    def _compute_atoms(self) -> Iterable["Atom"]:
+        return ()
 
     def has_quantifier(self) -> bool:
         return False
@@ -159,26 +214,50 @@ class BoolConst(Formula):
     def __str__(self) -> str:
         return "true" if self.value else "false"
 
+    def __repr__(self) -> str:
+        return f"BoolConst({self.value})"
+
 
 TRUE = BoolConst(True)
 FALSE = BoolConst(False)
 
 
-@dataclass(frozen=True)
 class Atom(Formula):
     """A normalised linear atom ``expr REL 0``."""
 
-    expr: LinExpr
-    rel: Relation
+    __slots__ = ("expr", "rel")
 
-    def variables(self) -> set[Var]:
+    _intern: dict[tuple, "Atom"] = {}
+
+    def __new__(cls, expr: LinExpr, rel: Relation) -> "Atom":
+        key = (expr, rel)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.expr = expr
+        self.rel = rel
+        self._init_caches(hash((Atom, expr, rel)))
+        cls._intern[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Atom):
+            return self.rel is other.rel and self.expr == other.expr
+        return NotImplemented
+
+    __hash__ = Formula.__hash__
+
+    def _compute_variables(self) -> Iterable[Var]:
         return self.expr.variables()
 
-    def array_reads(self) -> set[ArrayRead]:
+    def _compute_array_reads(self) -> Iterable[ArrayRead]:
         return self.expr.array_reads()
 
-    def atoms(self) -> set["Atom"]:
-        return {self}
+    def _compute_atoms(self) -> Iterable["Atom"]:
+        return (self,)
 
     def has_quantifier(self) -> bool:
         return False
@@ -215,26 +294,49 @@ class Atom(Formula):
     def __str__(self) -> str:
         return f"{self.expr} {self.rel.value} 0"
 
+    def __repr__(self) -> str:
+        return f"Atom({self.expr!r}, {self.rel})"
 
-@dataclass(frozen=True)
+
 class And(Formula):
     """Conjunction.  Use :func:`conjoin` to build flattened instances."""
 
-    args: tuple[Formula, ...]
+    __slots__ = ("args",)
 
-    def variables(self) -> set[Var]:
+    _intern: dict[tuple, "And"] = {}
+
+    def __new__(cls, args: tuple[Formula, ...]) -> "And":
+        cached = cls._intern.get(args)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.args = args
+        self._init_caches(hash((And, args)))
+        cls._intern[args] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, And):
+            return self.args == other.args
+        return NotImplemented
+
+    __hash__ = Formula.__hash__
+
+    def _compute_variables(self) -> Iterable[Var]:
         result: set[Var] = set()
         for arg in self.args:
             result |= arg.variables()
         return result
 
-    def array_reads(self) -> set[ArrayRead]:
+    def _compute_array_reads(self) -> Iterable[ArrayRead]:
         result: set[ArrayRead] = set()
         for arg in self.args:
             result |= arg.array_reads()
         return result
 
-    def atoms(self) -> set[Atom]:
+    def _compute_atoms(self) -> Iterable[Atom]:
         result: set[Atom] = set()
         for arg in self.args:
             result |= arg.atoms()
@@ -258,26 +360,49 @@ class And(Formula):
     def __str__(self) -> str:
         return "(" + " /\\ ".join(str(arg) for arg in self.args) + ")"
 
+    def __repr__(self) -> str:
+        return f"And({self.args!r})"
 
-@dataclass(frozen=True)
+
 class Or(Formula):
     """Disjunction.  Use :func:`disjoin` to build flattened instances."""
 
-    args: tuple[Formula, ...]
+    __slots__ = ("args",)
 
-    def variables(self) -> set[Var]:
+    _intern: dict[tuple, "Or"] = {}
+
+    def __new__(cls, args: tuple[Formula, ...]) -> "Or":
+        cached = cls._intern.get(args)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.args = args
+        self._init_caches(hash((Or, args)))
+        cls._intern[args] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Or):
+            return self.args == other.args
+        return NotImplemented
+
+    __hash__ = Formula.__hash__
+
+    def _compute_variables(self) -> Iterable[Var]:
         result: set[Var] = set()
         for arg in self.args:
             result |= arg.variables()
         return result
 
-    def array_reads(self) -> set[ArrayRead]:
+    def _compute_array_reads(self) -> Iterable[ArrayRead]:
         result: set[ArrayRead] = set()
         for arg in self.args:
             result |= arg.array_reads()
         return result
 
-    def atoms(self) -> set[Atom]:
+    def _compute_atoms(self) -> Iterable[Atom]:
         result: set[Atom] = set()
         for arg in self.args:
             result |= arg.atoms()
@@ -301,20 +426,43 @@ class Or(Formula):
     def __str__(self) -> str:
         return "(" + " \\/ ".join(str(arg) for arg in self.args) + ")"
 
+    def __repr__(self) -> str:
+        return f"Or({self.args!r})"
 
-@dataclass(frozen=True)
+
 class Not(Formula):
     """Negation of an arbitrary sub-formula."""
 
-    arg: Formula
+    __slots__ = ("arg",)
 
-    def variables(self) -> set[Var]:
+    _intern: dict[Formula, "Not"] = {}
+
+    def __new__(cls, arg: Formula) -> "Not":
+        cached = cls._intern.get(arg)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.arg = arg
+        self._init_caches(hash((Not, arg)))
+        cls._intern[arg] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Not):
+            return self.arg == other.arg
+        return NotImplemented
+
+    __hash__ = Formula.__hash__
+
+    def _compute_variables(self) -> Iterable[Var]:
         return self.arg.variables()
 
-    def array_reads(self) -> set[ArrayRead]:
+    def _compute_array_reads(self) -> Iterable[ArrayRead]:
         return self.arg.array_reads()
 
-    def atoms(self) -> set[Atom]:
+    def _compute_atoms(self) -> Iterable[Atom]:
         return self.arg.atoms()
 
     def has_quantifier(self) -> bool:
@@ -335,8 +483,10 @@ class Not(Formula):
     def __str__(self) -> str:
         return f"!({self.arg})"
 
+    def __repr__(self) -> str:
+        return f"Not({self.arg!r})"
 
-@dataclass(frozen=True)
+
 class Forall(Formula):
     """A universally quantified formula ``forall index: body``.
 
@@ -346,21 +496,43 @@ class Forall(Formula):
     body; the quantifier-instantiation module checks the shape it needs.
     """
 
-    index: Var
-    body: Formula
+    __slots__ = ("index", "body")
 
-    def variables(self) -> set[Var]:
+    _intern: dict[tuple, "Forall"] = {}
+
+    def __new__(cls, index: Var, body: Formula) -> "Forall":
+        key = (index, body)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.index = index
+        self.body = body
+        self._init_caches(hash((Forall, index, body)))
+        cls._intern[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Forall):
+            return self.index == other.index and self.body == other.body
+        return NotImplemented
+
+    __hash__ = Formula.__hash__
+
+    def _compute_variables(self) -> Iterable[Var]:
         return self.body.variables() - {self.index}
 
     def bound_variable(self) -> Var:
         return self.index
 
-    def array_reads(self) -> set[ArrayRead]:
+    def _compute_array_reads(self) -> Iterable[ArrayRead]:
         # Reads whose index mentions the bound variable are reported too;
         # callers that need only "ground" reads filter on variables().
         return self.body.array_reads()
 
-    def atoms(self) -> set[Atom]:
+    def _compute_atoms(self) -> Iterable[Atom]:
         return self.body.atoms()
 
     def has_quantifier(self) -> bool:
@@ -386,6 +558,21 @@ class Forall(Formula):
 
     def __str__(self) -> str:
         return f"(forall {self.index}: {self.body})"
+
+    def __repr__(self) -> str:
+        return f"Forall({self.index!r}, {self.body!r})"
+
+
+def clear_formula_intern_caches() -> None:
+    """Drop the hash-consing tables of the formula layer (see terms module).
+
+    The ``TRUE``/``FALSE`` singletons stay interned on purpose.
+    """
+    Atom._intern.clear()
+    And._intern.clear()
+    Or._intern.clear()
+    Not._intern.clear()
+    Forall._intern.clear()
 
 
 # ----------------------------------------------------------------------

@@ -6,6 +6,16 @@ an array read (:class:`ArrayRead`).  Linear expressions are immutable and
 hashable, which lets them be used as dictionary keys, set members, and as parts
 of larger immutable formula objects.
 
+All term objects are **hash-consed**: constructing a term returns the unique
+interned instance for its content, so structural equality coincides with
+object identity (``==`` is a pointer comparison), ``__hash__`` is a cached
+field read, and the structural queries ``variables()``/``array_reads()`` are
+computed once per node and shared.  The pervasive set/dict operations of the
+predicate-abstraction and invariant layers therefore never re-hash or
+re-traverse whole trees.  Interned tables grow with the set of distinct terms
+ever built; long-running services can call :func:`clear_intern_caches`
+between independent problems.
+
 All coefficients are :class:`fractions.Fraction`; no floating point arithmetic
 is used anywhere in the library, so soundness of verification results never
 depends on rounding.
@@ -13,7 +23,6 @@ depends on rounding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Mapping, Union
 
@@ -27,6 +36,7 @@ __all__ = [
     "var",
     "const",
     "read",
+    "clear_intern_caches",
 ]
 
 #: Values accepted wherever a rational constant is expected.
@@ -46,14 +56,64 @@ def as_fraction(value: Rat) -> Fraction:
     raise TypeError(f"expected int or Fraction, got {type(value).__name__}: {value!r}")
 
 
-@dataclass(frozen=True, order=True)
 class Var:
-    """A scalar program variable (or an auxiliary solver variable)."""
+    """A scalar program variable (or an auxiliary solver variable).
 
-    name: str
+    Instances are interned by name: ``Var("x") is Var("x")``.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    _intern: dict[str, "Var"] = {}
+
+    def __new__(cls, name: str) -> "Var":
+        cached = cls._intern.get(name)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.name = name
+        self._hash = hash((Var, name))
+        cls._intern[name] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        # Interning makes identity the common case; the structural fallback
+        # keeps equality meaningful across clear_intern_caches() generations.
+        if self is other:
+            return True
+        if isinstance(other, Var):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Total order by name (mirrors the seed's ``order=True`` dataclass).
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Var):
+            return self.name < other.name
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, Var):
+            return self.name <= other.name
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, Var):
+            return self.name > other.name
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, Var):
+            return self.name >= other.name
+        return NotImplemented
 
     def __str__(self) -> str:
         return self.name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
 
     def primed(self) -> "Var":
         """Return the next-state version of this variable."""
@@ -68,15 +128,43 @@ class Var:
         return Var(self.name.rstrip("'"))
 
 
-@dataclass(frozen=True)
 class ArrayRead:
-    """A read ``array[index]`` where ``index`` is a linear expression."""
+    """A read ``array[index]`` where ``index`` is a linear expression.
 
-    array: str
-    index: "LinExpr"
+    Instances are interned by ``(array, index)``.
+    """
+
+    __slots__ = ("array", "index", "_hash")
+
+    _intern: dict[tuple, "ArrayRead"] = {}
+
+    def __new__(cls, array: str, index: "LinExpr") -> "ArrayRead":
+        key = (array, index)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.array = array
+        self.index = index
+        self._hash = hash((ArrayRead, array, index))
+        cls._intern[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, ArrayRead):
+            return self.array == other.array and self.index == other.index
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.array}[{self.index}]"
+
+    def __repr__(self) -> str:
+        return f"ArrayRead({self.array!r}, {self.index!r})"
 
     def __lt__(self, other: object) -> bool:  # stable ordering for canonical forms
         if isinstance(other, Var):
@@ -97,17 +185,44 @@ def _atomic_key(atom: Atomic) -> tuple:
     return (1, atom.array, str(atom.index))
 
 
-@dataclass(frozen=True)
 class LinExpr:
     """An immutable linear expression ``sum(coeff_i * atom_i) + const``.
 
     Instances are canonical: atoms with zero coefficient are dropped and the
     atom/coefficient pairs are sorted, so two expressions denoting the same
-    function compare equal and hash identically.
+    function are the *same interned object* and hash identically through a
+    cached hash field.
     """
 
-    terms: tuple[tuple[Atomic, Fraction], ...]
-    const: Fraction
+    __slots__ = ("terms", "const", "_hash", "_variables", "_array_reads")
+
+    _intern: dict[tuple, "LinExpr"] = {}
+
+    def __new__(
+        cls, terms: tuple[tuple[Atomic, Fraction], ...], const: Fraction
+    ) -> "LinExpr":
+        key = (terms, const)
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        self.terms = terms
+        self.const = const
+        self._hash = hash(key)
+        self._variables = None
+        self._array_reads = None
+        cls._intern[key] = self
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, LinExpr):
+            return self.const == other.const and self.terms == other.terms
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -158,23 +273,31 @@ class LinExpr:
     def atoms(self) -> tuple[Atomic, ...]:
         return tuple(atom for atom, _ in self.terms)
 
-    def variables(self) -> set[Var]:
+    def variables(self) -> frozenset[Var]:
         """All scalar variables, including those inside array indices."""
-        result: set[Var] = set()
-        for atom, _ in self.terms:
-            if isinstance(atom, Var):
-                result.add(atom)
-            else:
-                result.update(atom.index.variables())
-        return result
+        cached = self._variables
+        if cached is None:
+            result: set[Var] = set()
+            for atom, _ in self.terms:
+                if isinstance(atom, Var):
+                    result.add(atom)
+                else:
+                    result.update(atom.index.variables())
+            cached = frozenset(result)
+            self._variables = cached
+        return cached
 
-    def array_reads(self) -> set[ArrayRead]:
-        result: set[ArrayRead] = set()
-        for atom, _ in self.terms:
-            if isinstance(atom, ArrayRead):
-                result.add(atom)
-                result.update(atom.index.array_reads())
-        return result
+    def array_reads(self) -> frozenset[ArrayRead]:
+        cached = self._array_reads
+        if cached is None:
+            result: set[ArrayRead] = set()
+            for atom, _ in self.terms:
+                if isinstance(atom, ArrayRead):
+                    result.add(atom)
+                    result.update(atom.index.array_reads())
+            cached = frozenset(result)
+            self._array_reads = cached
+        return cached
 
     def arrays(self) -> set[str]:
         return {r.array for r in self.array_reads()}
@@ -322,6 +445,33 @@ def coerce_expr(value: "LinExpr | Var | ArrayRead | Rat") -> LinExpr:
     if isinstance(value, ArrayRead):
         return LinExpr.make({value: 1})
     return LinExpr.constant(as_fraction(value))
+
+
+#: Extra caches (registered by higher layers) that key on interned terms and
+#: must be dropped together with the interning tables, or they would pin
+#: retired term generations in memory.
+_dependent_caches: list = []
+
+
+def register_intern_cache(clear) -> None:
+    """Register a zero-argument callable run by :func:`clear_intern_caches`."""
+    _dependent_caches.append(clear)
+
+
+def clear_intern_caches() -> None:
+    """Drop the hash-consing tables of the term layer.
+
+    Interned objects stay valid; only the tables that guarantee *new*
+    constructions are shared are reset.  Only call this between independent
+    verification problems (identity-based equality still holds within each
+    table generation because the canonical constructors always re-intern).
+    Caches registered via :func:`register_intern_cache` are cleared too.
+    """
+    Var._intern.clear()
+    ArrayRead._intern.clear()
+    LinExpr._intern.clear()
+    for clear in _dependent_caches:
+        clear()
 
 
 # ----------------------------------------------------------------------

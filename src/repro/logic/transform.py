@@ -1,11 +1,12 @@
 """Normal-form transformations and fresh-name generation.
 
-The quantifier-free solvers in :mod:`repro.smt` work on conjunctions of atoms,
-so arbitrary boolean structure is first pushed into negation normal form and
-then expanded into disjunctive normal form.  Formulas produced by the
-verification-condition generator are small (path programs have no branching,
-so disjunctions only come from negated conjunctions, disequality splits and
-read-over-write case splits), which keeps the DNF expansion cheap in practice.
+The lazy case-splitting solver in :mod:`repro.smt.solver` only needs
+negation normal form (:func:`to_nnf`); it explores disjunctions on demand
+instead of expanding them.  The disjunctive-normal-form helpers
+(:func:`dnf_cubes`, :func:`to_dnf`, :func:`cube_size_of`) are kept for the
+eager reference oracle ``SmtSolver.check_sat_eager`` and for tests and
+benchmarks that measure how much enumeration laziness avoids; ``limit``
+guards their worst-case exponential blow-up.
 """
 
 from __future__ import annotations

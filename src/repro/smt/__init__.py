@@ -2,11 +2,11 @@
 
 from .linear import LinConstraint, normalize_constraint, tighten_integer
 from .fourier_motzkin import project, satisfiable
-from .simplex import LPResult, LPStatus, feasible, solve_lp
+from .simplex import IncrementalSimplex, LPResult, LPStatus, feasible, solve_lp
 from .lra import LraResult, LraSolver
 from .arrays import CubeSolver, Store, resolve_stores
 from .quant import eliminate_quantifiers, instantiate_positive, skolemize_negative
-from .solver import SatResult, SmtSolver
+from .solver import SatResult, SmtSolver, SolverStats
 from .ssa import SsaTranslation, ssa_translate, versioned
 from .vcgen import PathFeasibility, VcChecker
 
@@ -16,6 +16,7 @@ __all__ = [
     "tighten_integer",
     "project",
     "satisfiable",
+    "IncrementalSimplex",
     "LPResult",
     "LPStatus",
     "feasible",
@@ -30,6 +31,7 @@ __all__ = [
     "skolemize_negative",
     "SatResult",
     "SmtSolver",
+    "SolverStats",
     "SsaTranslation",
     "ssa_translate",
     "versioned",

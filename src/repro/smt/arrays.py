@@ -14,6 +14,11 @@ Two mechanisms live here.
    variable and the functionality axiom ("equal indices give equal values")
    is enforced lazily by splitting on the order of the two indices whenever a
    candidate model violates it.
+
+   The lazy case-splitting solver in :mod:`repro.smt.solver` implements the
+   same read flattening and functionality splits natively on its persistent
+   constraint store; :class:`CubeSolver` remains as the conjunction-level
+   engine behind the eager-DNF reference path (``check_sat_eager``).
 """
 
 from __future__ import annotations
@@ -40,7 +45,14 @@ from ..logic.terms import ArrayRead, LinExpr, Var
 from ..logic.transform import FreshNames
 from .lra import LraResult, LraSolver
 
-__all__ = ["Store", "resolve_stores", "CubeSolver", "ground_reads"]
+__all__ = [
+    "Store",
+    "resolve_stores",
+    "CubeSolver",
+    "ground_reads",
+    "flatten_reads",
+    "find_functionality_violation",
+]
 
 
 @dataclass(frozen=True)
@@ -115,6 +127,71 @@ def _find_stored_read(formula: Formula, stores: dict[str, Store]) -> Optional[Ar
     return None
 
 
+def flatten_reads(
+    expr: LinExpr,
+    value_var_of,
+    triples: list[tuple[Var, str, LinExpr]],
+) -> LinExpr:
+    """Replace array reads by value variables, innermost indices first.
+
+    ``value_var_of`` maps a canonical (read-flattened) :class:`ArrayRead` to
+    its value variable — the caller owns the interning policy.  Every read
+    encountered is appended to ``triples`` as ``(value var, array, flattened
+    index)``; duplicates are possible and left to the caller to ignore.
+    This is the single source of truth for read canonicalisation, shared by
+    the eager :class:`CubeSolver` and the lazy engine in
+    :mod:`repro.smt.solver`.
+    """
+    reads = sorted(expr.array_reads(), key=lambda r: len(str(r)))
+    if not reads:
+        return expr
+    substitution: dict[ArrayRead, LinExpr] = {}
+    for read in reads:
+        flat_index = flatten_reads(read.index, value_var_of, triples)
+        canonical = ArrayRead(read.array, flat_index)
+        value_var = value_var_of(canonical)
+        triples.append((value_var, read.array, flat_index))
+        substitution[read] = LinExpr.make({value_var: 1})
+    return expr.substitute_reads(substitution)
+
+
+def _evaluate_flat(expr: LinExpr, model: dict[Var, Fraction]) -> Fraction:
+    total = expr.const
+    for atom, coeff in expr.terms:
+        assert isinstance(atom, Var)
+        total += coeff * model.get(atom, Fraction(0))
+    return total
+
+
+def find_functionality_violation(
+    reads: Sequence[tuple[Var, str, LinExpr]],
+    model: dict[Var, Fraction],
+    decided,
+) -> Optional[tuple[Var, Var, LinExpr, LinExpr]]:
+    """First pair of same-array reads whose model violates functionality.
+
+    ``reads`` holds ``(value var, array, flattened index)`` triples; a pair
+    violates the axiom when the index expressions evaluate equally under
+    ``model`` but the value variables differ.  Pairs recorded in ``decided``
+    (as ``frozenset((var_a, var_b))``) are skipped.  Shared by both solver
+    engines.
+    """
+    items = sorted(reads, key=lambda item: item[0].name)
+    for position, (var_a, array_a, index_a) in enumerate(items):
+        for var_b, array_b, index_b in items[position + 1 :]:
+            if array_a != array_b:
+                continue
+            if frozenset((var_a, var_b)) in decided:
+                continue
+            value_a = _evaluate_flat(index_a, model)
+            value_b = _evaluate_flat(index_b, model)
+            if value_a == value_b and model.get(var_a, Fraction(0)) != model.get(
+                var_b, Fraction(0)
+            ):
+                return var_a, var_b, index_a, index_b
+    return None
+
+
 class CubeSolver:
     """Decide conjunctions of atoms over integers with base-array reads."""
 
@@ -135,91 +212,59 @@ class CubeSolver:
                 return self.check(rest + [Atom(-atom.expr, Relation.LT)])
 
         # 2. flatten array reads into fresh value variables
-        flattened, read_vars, index_of = self._flatten(atoms)
-        return self._check_functional(flattened, read_vars, index_of, decided=set())
+        flattened, reads = self._flatten(atoms)
+        return self._check_functional(flattened, reads, decided=set())
 
     # ------------------------------------------------------------------
     def _flatten(
         self, atoms: Sequence[Atom]
-    ) -> tuple[list[Atom], dict[ArrayRead, Var], dict[Var, tuple[str, LinExpr]]]:
+    ) -> tuple[list[Atom], list[tuple[Var, str, LinExpr]]]:
         mapping: dict[ArrayRead, Var] = {}
-        index_of: dict[Var, tuple[str, LinExpr]] = {}
 
-        def flatten_expr(expr: LinExpr) -> LinExpr:
-            reads = sorted(expr.array_reads(), key=lambda r: len(str(r)))
-            if not reads:
-                return expr
-            substitution: dict[ArrayRead, LinExpr] = {}
-            for read in reads:
-                flat_index = flatten_expr(read.index)
-                canonical = ArrayRead(read.array, flat_index)
-                if canonical not in mapping:
-                    value_var = self._fresh.fresh(read.array)
-                    mapping[canonical] = value_var
-                    index_of[value_var] = (read.array, flat_index)
-                substitution[read] = LinExpr.make({mapping[canonical]: 1})
-            return expr.substitute_reads(substitution)
+        def value_var_of(canonical: ArrayRead) -> Var:
+            value_var = mapping.get(canonical)
+            if value_var is None:
+                value_var = self._fresh.fresh(canonical.array)
+                mapping[canonical] = value_var
+            return value_var
 
+        triples: list[tuple[Var, str, LinExpr]] = []
         result: list[Atom] = []
         for atom in atoms:
-            result.append(Atom(flatten_expr(atom.expr), atom.rel))
-        return result, mapping, index_of
+            result.append(Atom(flatten_reads(atom.expr, value_var_of, triples), atom.rel))
+        seen: set[Var] = set()
+        unique: list[tuple[Var, str, LinExpr]] = []
+        for triple in triples:
+            if triple[0] not in seen:
+                seen.add(triple[0])
+                unique.append(triple)
+        return result, unique
 
     # ------------------------------------------------------------------
     def _check_functional(
         self,
         atoms: list[Atom],
-        read_vars: dict[ArrayRead, Var],
-        index_of: dict[Var, tuple[str, LinExpr]],
+        reads: list[tuple[Var, str, LinExpr]],
         decided: frozenset | set,
     ) -> LraResult:
         result = self.lra.check(atoms)
         if not result.satisfiable:
             return result
         assert result.model is not None
-        violation = self._find_violation(result.model, index_of, decided)
+        violation = find_functionality_violation(reads, result.model, decided)
         if violation is None:
             return result
         var_a, var_b, index_a, index_b = violation
         decided = set(decided) | {frozenset((var_a, var_b))}
         # Case 1: the indices coincide, so the values must coincide.
         equal_case = atoms + [eq(index_a, index_b), eq(var_a, var_b)]
-        outcome = self._check_functional(equal_case, read_vars, index_of, decided)
+        outcome = self._check_functional(equal_case, reads, decided)
         if outcome.satisfiable:
             return outcome
         # Cases 2 and 3: the indices are ordered strictly.
         for first, second in ((index_a, index_b), (index_b, index_a)):
             ordered = atoms + [Atom(first - second, Relation.LT)]
-            outcome = self._check_functional(ordered, read_vars, index_of, decided)
+            outcome = self._check_functional(ordered, reads, decided)
             if outcome.satisfiable:
                 return outcome
         return LraResult(False)
-
-    def _find_violation(
-        self,
-        model: dict[Var, Fraction],
-        index_of: dict[Var, tuple[str, LinExpr]],
-        decided,
-    ) -> Optional[tuple[Var, Var, LinExpr, LinExpr]]:
-        items = sorted(index_of.items(), key=lambda kv: kv[0].name)
-        for i, (var_a, (array_a, index_a)) in enumerate(items):
-            for var_b, (array_b, index_b) in items[i + 1 :]:
-                if array_a != array_b:
-                    continue
-                if frozenset((var_a, var_b)) in decided:
-                    continue
-                value_a = self._evaluate(index_a, model)
-                value_b = self._evaluate(index_b, model)
-                if value_a == value_b and model.get(var_a, Fraction(0)) != model.get(
-                    var_b, Fraction(0)
-                ):
-                    return var_a, var_b, index_a, index_b
-        return None
-
-    @staticmethod
-    def _evaluate(expr: LinExpr, model: dict[Var, Fraction]) -> Fraction:
-        total = expr.const
-        for atom, coeff in expr.terms:
-            assert isinstance(atom, Var)
-            total += coeff * model.get(atom, Fraction(0))
-        return total

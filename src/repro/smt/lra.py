@@ -1,7 +1,8 @@
 """Conjunction-level linear-arithmetic solving.
 
-This module glues together the Fourier–Motzkin and simplex engines and adds
-the integer-specific reasoning the verifier needs:
+This module drives the incremental simplex engine
+(:class:`~repro.smt.simplex.IncrementalSimplex`) and adds the
+integer-specific reasoning the verifier needs:
 
 * *integer tightening* — for constraints whose variables all range over the
   integers, a strict inequality ``e < 0`` is replaced by ``e <= -1``; this is
@@ -9,9 +10,16 @@ the integer-specific reasoning the verifier needs:
   ``i < n`` to justify the array-bound ``i <= n - 1``;
 * *bounded branch and bound* — when a rational witness assigns a fractional
   value to an integer variable, the solver splits on ``x <= floor(v)`` versus
-  ``x >= floor(v)+1``.  Counterexample-feasibility checks use this to avoid
-  reporting bugs whose path formulas are only rationally satisfiable (the
-  FORWARD path formula is the canonical example).
+  ``x >= floor(v)+1``.  The branches are explored with ``push``/``pop`` on a
+  shared tableau, so each branch only flips one bound.  Counterexample
+  feasibility checks use this to avoid reporting bugs whose path formulas are
+  only rationally satisfiable (the FORWARD path formula is the canonical
+  example).
+
+The module-level helpers :func:`assert_atoms` and :func:`integer_feasible`
+are shared with the lazy case-splitting SMT core in :mod:`repro.smt.solver`,
+which keeps one persistent :class:`IncrementalSimplex` across a whole
+case-split tree.
 """
 
 from __future__ import annotations
@@ -21,15 +29,11 @@ from fractions import Fraction
 from typing import Optional, Sequence
 
 from ..logic.formulas import Atom, Relation
-from ..logic.terms import LinExpr, Var
-from . import fourier_motzkin, simplex
+from ..logic.terms import LinExpr, Var, register_intern_cache
 from .linear import LinConstraint, normalize_constraint, tighten_integer
+from .simplex import IncrementalSimplex
 
-__all__ = ["LraSolver", "LraResult"]
-
-#: Above this many constraints the solver prefers simplex over Fourier–Motzkin.
-_FM_CONSTRAINT_LIMIT = 60
-_FM_VARIABLE_LIMIT = 28
+__all__ = ["LraSolver", "LraResult", "assert_atoms", "integer_feasible", "prepare_atom"]
 
 
 @dataclass
@@ -44,12 +48,114 @@ class LraResult:
     approximate: bool = False
 
 
+#: Memoised atom -> prepared constraint, keyed on the interned atom.  The
+#: sentinels are ``True`` (trivially true, skip) and ``False`` (trivially
+#: false, conflict).  Hash-consing makes the key a pointer hash, so the hot
+#: case-splitting paths re-prepare each distinct atom only once per process.
+#: Dropped together with the interning tables by ``clear_intern_caches`` so
+#: retired formula generations are not pinned in memory.
+_prepared: dict[tuple[Atom, bool], "LinConstraint | bool"] = {}
+register_intern_cache(_prepared.clear)
+
+
+def prepare_atom(atom: Atom, integer_mode: bool) -> "LinConstraint | bool":
+    """Normalise (and in integer mode tighten) an atom for the simplex."""
+    key = (atom, integer_mode)
+    cached = _prepared.get(key)
+    if cached is None:
+        if atom.is_trivially_true():
+            cached = True
+        elif atom.is_trivially_false():
+            cached = False
+        else:
+            constraint = normalize_constraint(LinConstraint(atom.expr, atom.rel))
+            if integer_mode:
+                constraint = tighten_integer(constraint)
+            cached = constraint
+        _prepared[key] = cached
+    return cached
+
+
+def assert_atoms(
+    simplex: IncrementalSimplex, atoms: Sequence[Atom], integer_mode: bool
+) -> bool:
+    """Assert a conjunction of (read-free) atoms; False on conflict.
+
+    Disequalities must have been split by the caller.  Constraints are
+    normalised and, in integer mode, tightened before they reach the
+    simplex.
+    """
+    for atom in atoms:
+        if atom.rel is Relation.NE:
+            raise ValueError("disequalities must be split before the LRA solver")
+        prepared = prepare_atom(atom, integer_mode)
+        if prepared is True:
+            continue
+        if prepared is False:
+            return False
+        if not simplex.assert_constraint(prepared.expr, prepared.rel):
+            return False
+    return True
+
+
+def _fractional_variable(
+    model: dict[Var, Fraction]
+) -> Optional[tuple[Var, Fraction]]:
+    for variable, value in sorted(model.items()):
+        if value.denominator != 1:
+            return variable, value
+    return None
+
+
+def integer_feasible(
+    simplex: IncrementalSimplex, budget: int, integer_mode: bool = True
+) -> LraResult:
+    """Feasibility of the simplex's current bounds, with integer refinement.
+
+    Rational feasibility is decided first; in integer mode, fractional
+    witnesses are repaired by bounded branch and bound over ``push``/``pop``
+    scopes of the shared tableau.  When the budget runs out the result is the
+    sound over-approximation "satisfiable" flagged ``approximate`` (proofs
+    only rely on UNSAT answers).
+    """
+    if not simplex.check():
+        return LraResult(False)
+    model = simplex.model()
+    if not integer_mode:
+        return LraResult(True, model)
+    fractional = _fractional_variable(model)
+    if fractional is None:
+        return LraResult(True, model)
+    if budget <= 0:
+        return LraResult(True, model, approximate=True)
+    variable, value = fractional
+    floor = Fraction(value.numerator // value.denominator)
+    branches = (
+        LinExpr.variable(variable) - LinExpr.constant(floor),       # x <= floor
+        LinExpr.constant(floor + 1) - LinExpr.variable(variable),   # x >= floor + 1
+    )
+    for branch in branches:
+        simplex.push()
+        try:
+            if simplex.assert_constraint(branch, Relation.LE):
+                result = integer_feasible(simplex, budget // 2, integer_mode)
+                if result.satisfiable:
+                    return result
+        finally:
+            simplex.pop()
+    return LraResult(False)
+
+
 class LraSolver:
     """Satisfiability of conjunctions of linear atoms over scalar variables."""
 
     def __init__(self, integer_mode: bool = True, bb_limit: int = 40) -> None:
         self.integer_mode = integer_mode
         self.bb_limit = bb_limit
+        #: Number of conjunction feasibility queries answered.
+        self.num_checks = 0
+        #: Underlying simplex feasibility checks (branch-and-bound included).
+        self.num_simplex_checks = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -60,15 +166,14 @@ class LraSolver:
         Disequalities must have been split by the caller.  Equalities, strict
         and non-strict inequalities are accepted.
         """
-        constraints = self._to_constraints(atoms)
-        if constraints is None:
-            return LraResult(False)
-        model = self._rational_check(constraints)
-        if model is None:
-            return LraResult(False)
-        if not self.integer_mode:
-            return LraResult(True, model)
-        return self._integer_check(constraints, model, self.bb_limit)
+        self.num_checks += 1
+        simplex = IncrementalSimplex()
+        try:
+            if not assert_atoms(simplex, atoms, self.integer_mode):
+                return LraResult(False)
+            return integer_feasible(simplex, self.bb_limit, self.integer_mode)
+        finally:
+            self.num_simplex_checks += simplex.num_checks
 
     def entails(self, antecedent: Sequence[Atom], consequent: Atom) -> bool:
         """Does the conjunction of ``antecedent`` imply ``consequent``?
@@ -89,75 +194,3 @@ class LraSolver:
         else:
             negated = [consequent.negated()]
         return not self.check(list(antecedent) + negated).satisfiable
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _to_constraints(self, atoms: Sequence[Atom]) -> Optional[list[LinConstraint]]:
-        constraints: list[LinConstraint] = []
-        for atom in atoms:
-            if atom.rel is Relation.NE:
-                raise ValueError("disequalities must be split before the LRA solver")
-            if atom.is_trivially_false():
-                return None
-            if atom.is_trivially_true():
-                continue
-            constraint = LinConstraint(atom.expr, atom.rel)
-            constraint = normalize_constraint(constraint)
-            if self.integer_mode:
-                constraint = tighten_integer(constraint)
-            constraints.append(constraint)
-        return constraints
-
-    def _rational_check(
-        self, constraints: list[LinConstraint]
-    ) -> Optional[dict[Var, Fraction]]:
-        variables = {v for c in constraints for v in c.variables()}
-        use_fm = (
-            len(constraints) <= _FM_CONSTRAINT_LIMIT and len(variables) <= _FM_VARIABLE_LIMIT
-        )
-        has_strict = any(c.rel is Relation.LT for c in constraints)
-        if use_fm or has_strict:
-            return fourier_motzkin.satisfiable(constraints)
-        return simplex.feasible(constraints)
-
-    def _integer_check(
-        self,
-        constraints: list[LinConstraint],
-        model: dict[Var, Fraction],
-        budget: int,
-    ) -> LraResult:
-        fractional = self._fractional_variable(model)
-        if fractional is None:
-            return LraResult(True, model)
-        if budget <= 0:
-            # Give up: report satisfiable (sound over-approximation for the
-            # uses of this solver: proofs only rely on UNSAT answers).
-            return LraResult(True, model, approximate=True)
-        var, value = fractional
-        floor = Fraction(value.numerator // value.denominator)
-        lower_branch = constraints + [
-            LinConstraint(LinExpr.variable(var) - LinExpr.constant(floor), Relation.LE)
-        ]
-        upper_branch = constraints + [
-            LinConstraint(
-                LinExpr.constant(floor + 1) - LinExpr.variable(var), Relation.LE
-            )
-        ]
-        for branch in (lower_branch, upper_branch):
-            branch_model = self._rational_check(branch)
-            if branch_model is None:
-                continue
-            result = self._integer_check(branch, branch_model, budget // 2)
-            if result.satisfiable:
-                return result
-        return LraResult(False)
-
-    @staticmethod
-    def _fractional_variable(
-        model: dict[Var, Fraction]
-    ) -> Optional[tuple[Var, Fraction]]:
-        for var, value in sorted(model.items()):
-            if value.denominator != 1:
-                return var, value
-        return None

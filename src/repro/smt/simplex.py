@@ -1,20 +1,25 @@
-"""An exact two-phase primal simplex over rationals.
+"""Exact simplex engines over rationals.
 
-The solver accepts conjunctions of non-strict linear constraints
-(:class:`~repro.smt.linear.LinConstraint` with relation ``<=`` or ``=``) over
-free rational variables and optionally maximises a linear objective.  It is
-used
+Two engines live here.
 
-* as the feasibility engine for larger constraint systems (Fourier–Motzkin is
-  preferred for small ones because it directly yields witnesses and
-  projections), and
-* as the LP back end of the Farkas-based template-parameter solver in
-  :mod:`repro.invgen.farkas`.
+1. :class:`IncrementalSimplex` — a sparse, incremental feasibility engine in
+   the style of Dutertre and de Moura's "A Fast Linear-Arithmetic Solver for
+   DPLL(T)".  Constraints are asserted as *bounds* on problem or slack
+   variables; the tableau (one row per slack variable, interned by linear
+   form) is persistent, and ``push``/``pop`` only save and restore bounds.
+   This is what makes the lazy case-splitting SMT core cheap: sibling cubes
+   of a case split share the whole tableau prefix and only flip a few bounds.
+   Strict inequalities are handled exactly with delta-rationals
+   ``a + b*delta`` (an infinitesimal positive ``delta``), so no separate
+   Fourier–Motzkin pass is needed for satisfiability.
 
-Implementation notes: free variables are split into differences of
-non-negative variables, every row is equipped with a slack or artificial
-variable so that the all-slack/artificial basis is feasible, and Bland's rule
-is used for pivot selection, which guarantees termination.
+2. :func:`solve_lp` — the original batch two-phase primal simplex, kept as
+   the LP *optimisation* back end (it supports objectives, which the
+   incremental engine does not need).  Free variables are split into
+   differences of non-negative variables, every row is equipped with a slack
+   or artificial variable so that the all-slack/artificial basis is feasible,
+   and Bland's rule is used for pivot selection, which guarantees
+   termination.
 """
 
 from __future__ import annotations
@@ -27,7 +32,355 @@ from ..logic.formulas import Relation
 from ..logic.terms import LinExpr, Var
 from .linear import LinConstraint
 
-__all__ = ["LPStatus", "LPResult", "solve_lp", "feasible"]
+__all__ = [
+    "LPStatus",
+    "LPResult",
+    "solve_lp",
+    "feasible",
+    "IncrementalSimplex",
+]
+
+# ----------------------------------------------------------------------
+# Delta-rationals: pairs (a, b) denoting a + b*delta for an infinitesimal
+# positive delta.  Python's lexicographic tuple comparison implements the
+# right total order, so plain tuples are used for speed.
+# ----------------------------------------------------------------------
+_ZERO = Fraction(0)
+_DZERO = (_ZERO, _ZERO)
+
+
+class IncrementalSimplex:
+    """Sparse incremental simplex with bound assertions and push/pop.
+
+    Variables are problem variables and slack variables; each *distinct
+    linear form* (canonicalised to leading coefficient ``+1``) gets exactly
+    one slack variable whose tableau row is permanent.  Asserting a
+    constraint only tightens a bound, so re-asserting the same form after a
+    ``pop`` — which is what sibling cubes of a case split do — costs a
+    dictionary lookup instead of a tableau rebuild.
+
+    Statistics counters: ``num_checks`` (feasibility checks), ``num_pivots``,
+    ``num_pushes``, ``num_slack_vars``, ``num_slack_reuses``.
+    """
+
+    def __init__(self) -> None:
+        #: basic var -> {nonbasic var: coeff}; invariant basic = sum(row).
+        self._rows: dict[Var, dict[Var, Fraction]] = {}
+        #: nonbasic var -> set of basic vars whose row mentions it.
+        self._cols: dict[Var, set[Var]] = {}
+        #: current assignment, as delta-rational pairs.
+        self._values: dict[Var, tuple[Fraction, Fraction]] = {}
+        self._lower: dict[Var, tuple[Fraction, Fraction]] = {}
+        self._upper: dict[Var, tuple[Fraction, Fraction]] = {}
+        #: canonical linear form -> its slack variable.
+        self._slack_of_form: dict[tuple, Var] = {}
+        #: Bland-rule total order on variables (creation order).
+        self._var_ids: dict[Var, int] = {}
+        #: undo log of bound changes: (which, var, old bound or None).
+        self._trail: list[tuple[str, Var, Optional[tuple[Fraction, Fraction]]]] = []
+        self._marks: list[tuple[int, bool]] = []
+        self._conflict = False
+        self.num_checks = 0
+        self.num_pivots = 0
+        self.num_pushes = 0
+        self.num_slack_vars = 0
+        self.num_slack_reuses = 0
+        #: conflicts decided at assertion time (crossing bounds), i.e.
+        #: feasibility decisions that never needed a pivot loop.
+        self.num_assert_conflicts = 0
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        """Open a backtracking point (bounds only; the tableau persists)."""
+        self.num_pushes += 1
+        self._marks.append((len(self._trail), self._conflict))
+
+    def pop(self) -> None:
+        """Undo all bound assertions since the matching :meth:`push`."""
+        mark, conflict = self._marks.pop()
+        trail = self._trail
+        while len(trail) > mark:
+            which, variable, old = trail.pop()
+            bounds = self._lower if which == "l" else self._upper
+            if old is None:
+                del bounds[variable]
+            else:
+                bounds[variable] = old
+        self._conflict = conflict
+
+    def assert_constraint(self, expr: LinExpr, rel: Relation) -> bool:
+        """Assert ``expr rel 0`` (``rel`` in LE/LT/EQ); False on conflict.
+
+        A returned conflict is recorded and sticky until the enclosing
+        ``pop``; further checks fail fast.
+        """
+        if rel is Relation.NE:
+            raise ValueError("disequalities must be split before the simplex")
+        terms = expr.terms
+        const = expr.const
+        if not terms:
+            holds = rel.holds(const)
+            if not holds:
+                self._conflict = True
+            return holds
+
+        if len(terms) == 1:
+            variable, coeff = terms[0]
+            bound = -const / coeff
+            flip = coeff < 0
+        else:
+            lead = terms[0][1]
+            key = tuple((v, c / lead) for v, c in terms)
+            variable = self._slack_of_form.get(key)
+            if variable is None:
+                variable = self._new_slack(key)
+            else:
+                self.num_slack_reuses += 1
+            bound = -const / lead
+            flip = lead < 0
+
+        if rel is Relation.EQ:
+            ok = self._assert_upper(variable, (bound, _ZERO))
+            return self._assert_lower(variable, (bound, _ZERO)) and ok
+        strict = rel is Relation.LT
+        if flip:
+            # coeff < 0:  c*x <= -const  ==>  x >= bound (strictly for LT).
+            return self._assert_lower(variable, (bound, Fraction(1) if strict else _ZERO))
+        return self._assert_upper(variable, (bound, Fraction(-1) if strict else _ZERO))
+
+    def _register(self, variable: Var) -> None:
+        if variable not in self._var_ids:
+            self._var_ids[variable] = len(self._var_ids)
+            self._values[variable] = _DZERO
+            self._cols.setdefault(variable, set())
+
+    def _new_slack(self, form: tuple) -> Var:
+        self.num_slack_vars += 1
+        slack = Var(f"slk#{self.num_slack_vars}")
+        # Define slack = sum(form), substituting currently-basic variables by
+        # their rows so the new row mentions only nonbasic variables.
+        row: dict[Var, Fraction] = {}
+        value_a = _ZERO
+        value_b = _ZERO
+        for variable, coeff in form:
+            self._register(variable)
+            basic_row = self._rows.get(variable)
+            if basic_row is None:
+                row[variable] = row.get(variable, _ZERO) + coeff
+            else:
+                for inner, inner_coeff in basic_row.items():
+                    row[inner] = row.get(inner, _ZERO) + coeff * inner_coeff
+            va, vb = self._values[variable]
+            value_a += coeff * va
+            value_b += coeff * vb
+        row = {v: c for v, c in row.items() if c != 0}
+        self._var_ids[slack] = len(self._var_ids)
+        self._values[slack] = (value_a, value_b)
+        self._rows[slack] = row
+        for variable in row:
+            self._cols.setdefault(variable, set()).add(slack)
+        self._slack_of_form[form] = slack
+        return slack
+
+    def _assert_lower(self, variable: Var, bound: tuple[Fraction, Fraction]) -> bool:
+        self._register(variable)
+        old = self._lower.get(variable)
+        if old is not None and old >= bound:
+            return not self._conflict
+        self._trail.append(("l", variable, old))
+        self._lower[variable] = bound
+        upper = self._upper.get(variable)
+        if upper is not None and upper < bound:
+            self._conflict = True
+            self.num_assert_conflicts += 1
+            return False
+        if variable not in self._rows and self._values[variable] < bound:
+            self._update_nonbasic(variable, bound)
+        return not self._conflict
+
+    def _assert_upper(self, variable: Var, bound: tuple[Fraction, Fraction]) -> bool:
+        self._register(variable)
+        old = self._upper.get(variable)
+        if old is not None and old <= bound:
+            return not self._conflict
+        self._trail.append(("u", variable, old))
+        self._upper[variable] = bound
+        lower = self._lower.get(variable)
+        if lower is not None and lower > bound:
+            self._conflict = True
+            self.num_assert_conflicts += 1
+            return False
+        if variable not in self._rows and self._values[variable] > bound:
+            self._update_nonbasic(variable, bound)
+        return not self._conflict
+
+    def _update_nonbasic(self, variable: Var, value: tuple[Fraction, Fraction]) -> None:
+        old_a, old_b = self._values[variable]
+        delta_a = value[0] - old_a
+        delta_b = value[1] - old_b
+        self._values[variable] = value
+        rows = self._rows
+        values = self._values
+        for basic in self._cols.get(variable, ()):
+            coeff = rows[basic].get(variable)
+            if coeff is None:
+                continue
+            va, vb = values[basic]
+            values[basic] = (va + coeff * delta_a, vb + coeff * delta_b)
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def check(self) -> bool:
+        """Restore feasibility of the current bounds; True iff satisfiable."""
+        self.num_checks += 1
+        if self._conflict:
+            return False
+        rows = self._rows
+        values = self._values
+        lower = self._lower
+        upper = self._upper
+        ids = self._var_ids
+        while True:
+            # Bland's rule: smallest violating basic variable.
+            candidate: Optional[Var] = None
+            candidate_id = -1
+            need_raise = False
+            for basic in rows:
+                value = values[basic]
+                low = lower.get(basic)
+                if low is not None and value < low:
+                    if candidate is None or ids[basic] < candidate_id:
+                        candidate, candidate_id, need_raise = basic, ids[basic], True
+                    continue
+                up = upper.get(basic)
+                if up is not None and value > up:
+                    if candidate is None or ids[basic] < candidate_id:
+                        candidate, candidate_id, need_raise = basic, ids[basic], False
+            if candidate is None:
+                return True
+            row = rows[candidate]
+            target = lower[candidate] if need_raise else upper[candidate]
+            entering: Optional[Var] = None
+            entering_id = -1
+            for nonbasic, coeff in row.items():
+                increase = (coeff > 0) == need_raise
+                if increase:
+                    up = upper.get(nonbasic)
+                    suitable = up is None or values[nonbasic] < up
+                else:
+                    low = lower.get(nonbasic)
+                    suitable = low is None or values[nonbasic] > low
+                if suitable and (entering is None or ids[nonbasic] < entering_id):
+                    entering = nonbasic
+                    entering_id = ids[nonbasic]
+            if entering is None:
+                return False
+            self._pivot_and_update(candidate, entering, target)
+
+    def _pivot_and_update(
+        self, basic: Var, entering: Var, target: tuple[Fraction, Fraction]
+    ) -> None:
+        self.num_pivots += 1
+        rows = self._rows
+        values = self._values
+        row = rows.pop(basic)
+        coeff = row.pop(entering)
+        va, vb = values[basic]
+        theta = ((target[0] - va) / coeff, (target[1] - vb) / coeff)
+        values[basic] = target
+        ea, eb = values[entering]
+        values[entering] = (ea + theta[0], eb + theta[1])
+        for other in self._cols[entering]:
+            if other is basic or other not in rows:
+                continue
+            other_coeff = rows[other].get(entering)
+            if other_coeff is None:
+                continue
+            oa, ob = values[other]
+            values[other] = (oa + other_coeff * theta[0], ob + other_coeff * theta[1])
+
+        # Row for the entering variable: entering = (basic - sum(rest)) / coeff.
+        inv = Fraction(1) / coeff
+        new_row: dict[Var, Fraction] = {basic: inv}
+        for variable, c in row.items():
+            new_row[variable] = -c * inv
+            self._cols[variable].discard(basic)
+        cols = self._cols
+        cols.setdefault(basic, set())
+
+        # Substitute the entering variable out of every other row.
+        for other in list(cols.get(entering, ())):
+            if other not in rows:
+                continue
+            other_row = rows[other]
+            factor = other_row.pop(entering, None)
+            if factor is None:
+                continue
+            for variable, c in new_row.items():
+                merged = other_row.get(variable, _ZERO) + factor * c
+                if merged == 0:
+                    if variable in other_row:
+                        del other_row[variable]
+                        cols[variable].discard(other)
+                else:
+                    other_row[variable] = merged
+                    cols.setdefault(variable, set()).add(other)
+
+        rows[entering] = new_row
+        cols[entering] = set()
+        for variable in new_row:
+            cols.setdefault(variable, set()).add(entering)
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+    def model(self) -> dict[Var, Fraction]:
+        """A concrete rational witness for the current (feasible) bounds.
+
+        Delta-rational values are concretised by choosing a rational
+        ``delta`` small enough that every asserted bound stays satisfied.
+        Variables that no *active* bound constrains — directly or through
+        the form of a bounded slack — are reported rounded to integers:
+        their tableau values are stale leftovers of popped branches, any
+        value is valid for them, and handing out fractional leftovers would
+        send integer branch-and-bound chasing variables that do not matter.
+        """
+        delta = Fraction(1)
+        values = self._values
+        lower = self._lower
+        upper = self._upper
+        for variable, (ba, bb) in lower.items():
+            va, vb = values[variable]
+            if ba < va and bb > vb:
+                delta = min(delta, (va - ba) / (bb - vb))
+        for variable, (ba, bb) in upper.items():
+            va, vb = values[variable]
+            if va < ba and vb > bb:
+                delta = min(delta, (ba - va) / (vb - bb))
+        relevant: set[Var] = set()
+        for form, slack in self._slack_of_form.items():
+            if slack in lower or slack in upper:
+                for variable, _ in form:
+                    relevant.add(variable)
+        for bounds in (lower, upper):
+            for variable in bounds:
+                if not variable.name.startswith("slk#"):
+                    relevant.add(variable)
+        model: dict[Var, Fraction] = {}
+        for variable, (a, b) in values.items():
+            if variable.name.startswith("slk#"):
+                continue
+            if variable in relevant:
+                model[variable] = a + b * delta
+            else:
+                model[variable] = Fraction(a.numerator // a.denominator)
+        return model
+
+    def in_conflict(self) -> bool:
+        return self._conflict
 
 
 class LPStatus:

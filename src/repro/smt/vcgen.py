@@ -56,8 +56,30 @@ class VcChecker:
         self.cache_hits = 0
         #: Memoised triple verdicts.  CEGAR re-checks the same (state, edge,
         #: predicate) obligations many times across ART nodes and refinement
-        #: rounds; the inputs are immutable, so caching is safe.
+        #: rounds; the inputs are immutable and hash-consed, so the keys are
+        #: cheap and caching is safe.  A second memo level lives inside the
+        #: solver itself (normalised-query cache), which also catches
+        #: obligations that differ as triples but normalise to the same
+        #: quantifier-free formula.
         self._triple_cache: dict[tuple, bool] = {}
+
+    def statistics(self) -> dict[str, int]:
+        """Counter snapshot across the checker and its solver.
+
+        Keys: ``triple_checks``, ``feasibility_checks``, ``triple_cache_hits``
+        plus the solver counters (``sat_queries``, ``entailment_queries``) and
+        the lazy-engine statistics from
+        :meth:`~repro.smt.solver.SmtSolver.cache_info`.
+        """
+        stats = {
+            "triple_checks": self.num_triple_checks,
+            "feasibility_checks": self.num_feasibility_checks,
+            "triple_cache_hits": self.cache_hits,
+            "sat_queries": self.solver.num_sat_queries,
+            "entailment_queries": self.solver.num_entailment_queries,
+        }
+        stats.update(self.solver.cache_info())
+        return stats
 
     # ------------------------------------------------------------------
     # Hoare triples / inductiveness conditions

@@ -1,0 +1,188 @@
+"""Regression tests: the lazy case-splitting solver vs the eager-DNF oracle.
+
+The lazy engine (:meth:`SmtSolver.check_sat`) must agree with the retained
+eager-DNF reference (:meth:`SmtSolver.check_sat_eager`) on satisfiability
+verdicts, and satisfiable verdicts must come with genuine models.  The corpus
+mixes the shapes the verification pipeline produces: deep conjunctions,
+disequality splits, read-over-write style case splits, and implication
+chains from quantifier instantiation.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.formulas import (
+    Atom,
+    Relation,
+    conjoin,
+    disjoin,
+    eq,
+    ge,
+    implies_formula,
+    le,
+    lt,
+    ne,
+    negate,
+)
+from repro.logic.terms import Var, const, read, var
+from repro.logic.transform import dnf_cubes
+from repro.smt.solver import SmtSolver
+
+
+def _corpus():
+    x, y, z, n, i, j = (var(name) for name in "xyznij")
+    formulas = [
+        # deep conjunction chain (x <= y <= ... <= x + bound)
+        conjoin([le(x, y), le(y, z), le(z, n), le(n, x + 2), ge(z, x)]),
+        conjoin([le(x, y), le(y, z), le(z, x - 1)]),  # unsat cycle
+        # disequality splits
+        ne(x, 0),
+        conjoin([ne(x, 0), eq(x, 0)]),
+        conjoin([ne(x, y), le(x, y), ge(x, y)]),
+        conjoin([ne(x, 3), le(x, 3), ge(x, 3)]),
+        disjoin([ne(x, 1), ne(x, 2)]),
+        # read-over-write shaped case splits
+        disjoin(
+            [
+                conjoin([eq(i, j), eq(read("a", i), 5), ne(read("a", j), 5)]),
+                conjoin([ne(i, j), eq(read("a", i), read("a", j))]),
+            ]
+        ),
+        conjoin([eq(i, j), eq(read("a", i), 1), eq(read("a", j), 2)]),  # unsat
+        conjoin([ne(i, j), eq(read("a", i), 1), eq(read("a", j), 2)]),
+        # implication chains as produced by quantifier instantiation
+        conjoin(
+            [
+                implies_formula(conjoin([le(const(0), i), le(i, n)]), eq(read("a", i), 0)),
+                le(const(0), i),
+                le(i, n),
+                ne(read("a", i), 0),
+            ]
+        ),
+        conjoin(
+            [
+                implies_formula(le(const(0), i), eq(read("a", i), 0)),
+                lt(i, const(0)),
+                ne(read("a", i), 0),
+            ]
+        ),
+        # disjunction-heavy but shallow
+        conjoin([disjoin([eq(x, k) for k in range(4)]), ge(x, 2), le(x, 2)]),
+        conjoin([disjoin([le(x, 0), ge(x, 10)]), ge(x, 1), le(x, 9)]),  # unsat
+        # mixed negations
+        negate(conjoin([le(x, 5), ge(x, 0)])),
+        negate(disjoin([le(x, 5), ge(y, 0)])),
+    ]
+    return formulas
+
+
+@pytest.mark.parametrize("integer_mode", [True, False])
+@pytest.mark.parametrize("formula", _corpus(), ids=lambda f: str(f)[:60])
+def test_lazy_agrees_with_eager_on_corpus(formula, integer_mode):
+    lazy = SmtSolver(integer_mode=integer_mode).check_sat(formula)
+    eager = SmtSolver(integer_mode=integer_mode).check_sat_eager(formula)
+    if lazy.approximate or eager.approximate:
+        pytest.skip("approximate answers need not agree")
+    assert lazy.satisfiable == eager.satisfiable
+    if lazy.satisfiable and not formula.array_reads():
+        model = dict(lazy.model)
+        for variable in formula.variables():
+            model.setdefault(variable, Fraction(0))
+        assert formula.evaluate(model)
+        if integer_mode:
+            assert all(value.denominator == 1 for value in model.values())
+
+
+def test_lazy_survives_dnf_blowup():
+    """The eager limit guard trips where the lazy engine answers easily."""
+    # 2^18 cubes: far past the default 200k limit.
+    parts = [disjoin([le(var(f"x{k}"), 0), ge(var(f"x{k}"), 1)]) for k in range(18)]
+    formula = conjoin(parts)
+    with pytest.raises(ValueError, match="cubes"):
+        dnf_cubes(formula)
+    solver = SmtSolver()
+    with pytest.raises(ValueError, match="cubes"):
+        solver.check_sat_eager(formula)
+    assert solver.check_sat(formula).satisfiable
+
+    # An unsatisfiable variant: the blow-up is boolean, the conflict linear.
+    contradiction = conjoin(parts + [ge(var("x0"), 5), le(var("x0"), -5)])
+    assert not SmtSolver().check_sat(contradiction).satisfiable
+
+
+def test_eager_limit_guard_is_configurable():
+    parts = [disjoin([le(var(f"y{k}"), 0), ge(var(f"y{k}"), 1)]) for k in range(4)]
+    formula = conjoin(parts)
+    solver = SmtSolver()
+    with pytest.raises(ValueError, match="limit"):
+        solver.check_sat_eager(formula, limit=8)
+    assert solver.check_sat_eager(formula, limit=16).satisfiable
+
+
+def test_pruned_branches_leave_no_fractional_leftovers():
+    """Stale values of popped branches must not poison the integer model.
+
+    The first disjunct forces half-integer pivot values before it is pruned;
+    the surviving disjunct is trivially integer-satisfiable, so the verdict
+    must be exact (not approximate) and the model free of fractions.
+    """
+    parts = []
+    for k in range(10):
+        x, y = var(f"px{k}"), var(f"py{k}")
+        parts.append(conjoin([eq(2 * x - 2 * y, 1), ge(x + y, 1), le(x, 0), le(y, 0)]))
+    formula = disjoin([conjoin(parts), eq(var("pw"), 1)])
+    result = SmtSolver().check_sat(formula)
+    assert result.satisfiable
+    assert not result.approximate
+    assert all(value.denominator == 1 for value in result.model.values())
+    assert result.model[Var("pw")] == 1
+
+
+def test_query_cache_serves_repeats():
+    solver = SmtSolver()
+    formula = conjoin([le(var("x"), 3), ge(var("x"), 1), ne(var("x"), 2)])
+    first = solver.check_sat(formula)
+    hits_before = solver.stats.cache_hits
+    second = solver.check_sat(formula)
+    assert solver.stats.cache_hits == hits_before + 1
+    assert first.satisfiable == second.satisfiable
+    # Cached models are handed out as copies: mutating one answer must not
+    # corrupt the next.
+    second.model[Var("x")] = Fraction(999)
+    third = solver.check_sat(formula)
+    assert third.model == first.model
+
+
+# ----------------------------------------------------------------------
+# Property: lazy and eager agree on random quantifier-free formulas.
+# ----------------------------------------------------------------------
+@st.composite
+def qf_formulas(draw):
+    def atom():
+        expr = const(draw(st.integers(-3, 3)))
+        for name in ["x", "y"]:
+            expr = expr + var(name) * draw(st.integers(-2, 2))
+        if draw(st.booleans()):
+            expr = expr + read("a", var("x")) * draw(st.integers(0, 1))
+        rel = draw(st.sampled_from([Relation.LE, Relation.EQ, Relation.LT, Relation.NE]))
+        return Atom(expr, rel)
+
+    def formula(depth):
+        if depth == 0:
+            return atom()
+        parts = [formula(depth - 1) for _ in range(draw(st.integers(2, 3)))]
+        return conjoin(parts) if draw(st.booleans()) else disjoin(parts)
+
+    return formula(draw(st.integers(0, 2)))
+
+
+@given(qf_formulas())
+@settings(max_examples=60, deadline=None)
+def test_lazy_agrees_with_eager_on_random_formulas(formula):
+    lazy = SmtSolver().check_sat(formula)
+    eager = SmtSolver().check_sat_eager(formula)
+    if not (lazy.approximate or eager.approximate):
+        assert lazy.satisfiable == eager.satisfiable
