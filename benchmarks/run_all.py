@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr2.json``.
+
+Two data sections feed the perf trajectory:
+
+* ``pytest``  — every ``bench_e*.py`` benchmark run through pytest-benchmark
+  (wall time per benchmark plus the experiment facts each test records in
+  ``extra_info``: verdicts, refinement counts, reductions, ...).
+* ``engine``  — direct incremental-vs-restart engine runs over the suite
+  programs, recording per program: wall time, ART nodes created/reused,
+  abstract-post decisions, and solver calls for both modes.
+
+Usage::
+
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr2.json
+    python benchmarks/run_all.py --skip-pytest    # engine section only (fast)
+    python benchmarks/run_all.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import verify  # noqa: E402  (path set up above)
+from repro.lang import get_program  # noqa: E402
+
+#: Programs of the engine section, with per-program refinement budgets (the
+#: divergent ones are capped where rounds get solver-expensive).
+ENGINE_PROGRAMS = [
+    ("forward", 8),
+    ("initcheck", 8),
+    ("double_counter", 8),
+    ("up_down", 8),
+    ("lock_step", 8),
+    ("diamond_safe", 8),
+    ("simple_safe", 8),
+    ("simple_unsafe", 8),
+    ("array_init_const", 8),
+    ("array_copy", 8),
+    ("array_init_buggy", 8),
+    ("initcheck_buggy", 5),
+]
+
+
+def run_pytest_section() -> list[dict]:
+    """Run bench_e*.py under pytest-benchmark; return one record per test."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "pytest_bench.json"
+        bench_files = sorted(str(p) for p in BENCH_DIR.glob("bench_e*.py"))
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", "-q",
+                *bench_files,
+                f"--benchmark-json={json_path}",
+            ],
+            cwd=REPO_ROOT,
+            env={
+                **dict(PYTHONPATH=str(REPO_ROOT / "src"), PATH="/usr/bin:/bin"),
+            },
+            capture_output=True,
+            text=True,
+        )
+        print(completed.stdout.splitlines()[-1] if completed.stdout else "(no output)")
+        if completed.returncode != 0:
+            print(completed.stdout, file=sys.stderr)
+            print(completed.stderr, file=sys.stderr)
+            raise SystemExit(f"pytest benchmark run failed ({completed.returncode})")
+        data = json.loads(json_path.read_text())
+    records = []
+    for bench in data.get("benchmarks", []):
+        records.append(
+            {
+                "name": bench["name"],
+                "file": bench.get("fullname", "").split("::")[0],
+                "seconds": bench["stats"]["mean"],
+                "extra_info": bench.get("extra_info", {}),
+            }
+        )
+    return records
+
+
+def run_engine_section() -> list[dict]:
+    """Direct incremental-vs-restart runs with reuse and solver counters."""
+    records = []
+    for name, max_refinements in ENGINE_PROGRAMS:
+        row: dict = {"program": name, "max_refinements": max_refinements}
+        for mode, label in ((True, "incremental"), (False, "restart")):
+            started = time.perf_counter()
+            result = verify(
+                get_program(name), max_refinements=max_refinements, incremental=mode
+            )
+            solver = result.iterations[-1].solver_stats or {}
+            row[label] = {
+                "verdict": result.verdict,
+                "seconds": round(time.perf_counter() - started, 4),
+                "refinements": result.num_refinements,
+                "post_decisions": result.post_decisions(),
+                "nodes_created": result.engine_stats.get("nodes_created", 0),
+                "nodes_reused": result.engine_stats.get("nodes_reused", 0),
+                "solver_calls": solver.get("sat_queries", 0),
+                "triple_checks": solver.get("triple_checks", 0),
+            }
+        restart_posts = row["restart"]["post_decisions"]
+        if restart_posts:
+            row["post_decision_reduction"] = round(
+                1 - row["incremental"]["post_decisions"] / restart_posts, 4
+            )
+        row["verdicts_agree"] = (
+            row["incremental"]["verdict"] == row["restart"]["verdict"]
+        )
+        records.append(row)
+        print(
+            f"  {name:18s} inc={row['incremental']['verdict']}/"
+            f"{row['incremental']['post_decisions']:5d} "
+            f"restart={row['restart']['verdict']}/{restart_posts:5d} "
+            f"reduction={row.get('post_decision_reduction', 0):7.2%}"
+        )
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr2.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr2.json)",
+    )
+    parser.add_argument(
+        "--skip-pytest", action="store_true",
+        help="skip the pytest-benchmark section (engine section only)",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    report: dict = {"suite": "bench_e*", "sections": {}}
+    print("engine section (incremental vs restart):")
+    report["sections"]["engine"] = run_engine_section()
+    if not args.skip_pytest:
+        print("pytest section (bench_e*.py):")
+        report["sections"]["pytest"] = run_pytest_section()
+    report["total_seconds"] = round(time.perf_counter() - started, 2)
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output} in {report['total_seconds']}s")
+    disagreements = [
+        row["program"]
+        for row in report["sections"]["engine"]
+        if not row["verdicts_agree"]
+    ]
+    if disagreements:
+        print(f"VERDICT DISAGREEMENTS: {disagreements}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Quickstart: verify a small program with path-invariant CEGAR.
+"""Quickstart: verify programs with the incremental lazy-abstraction engine.
 
 Run with:  python examples/quickstart.py
 """
 
 from repro import verify
+from repro.core import Budget, VerificationEngine, verify_many
 
 SOURCE = """
 void double_counter(int n) {
@@ -22,12 +23,52 @@ void double_counter(int n) {
 
 
 def main() -> None:
-    print("Verifying double_counter with path-invariant refinement ...")
+    print("One-call API: verify() with path-invariant refinement ...")
     result = verify(SOURCE, refiner="path-invariant", max_refinements=5)
     print(result.summary())
     print()
     print("Predicates discovered per location:")
     print(result.precision)
+
+    print()
+    print("The engine behind it: persistent ART, budgets, pluggable strategy ...")
+    engine = VerificationEngine(
+        SOURCE,
+        strategy="error-distance",
+        budget=Budget(max_refinements=5, max_nodes=2000, max_seconds=60.0),
+    )
+    result = engine.run()
+    for record in result.iterations:
+        repaired = (
+            f", repair {record.repair}" if record.repair is not None else ""
+        )
+        print(
+            f"  iteration {record.iteration}: "
+            f"{record.nodes_created} nodes created, "
+            f"{record.post_decisions} abstract-post decisions"
+            f"{repaired}"
+        )
+    stats = result.engine_stats
+    print(
+        f"  -> {result.verdict} with {stats['nodes_reused']} node-reuses; "
+        f"a restart engine would have re-derived each of those from scratch"
+    )
+
+    print()
+    print("Batch mode: a corpus on a process pool, JSON results ...")
+    batch = verify_many(
+        ["forward", "lock_step", "simple_unsafe", ("inline", SOURCE)],
+        budget=Budget(max_refinements=5),
+        jobs=2,
+    )
+    for row in batch:
+        print(
+            f"  {row['name']:12s} {row['verdict']:7s} "
+            f"{row['seconds']:6.2f}s  {row['refinements']} refinements, "
+            f"{row['post_decisions']} post decisions"
+        )
+    print()
+    print("Same corpus from the shell:  python -m repro batch forward lock_step --jobs 2")
 
     print()
     print("For comparison, the classic path-formula refinement on the same program:")

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` console script.
+
+Three subcommands drive the verification engine:
+
+``repro verify FILE|NAME``
+    Verify one program — a mini-C source file or the name of a built-in
+    benchmark — and print a human-readable summary (or ``--json``).
+    Exit code: 0 safe, 1 unsafe, 2 unknown, 3 usage/input error.
+
+``repro batch FILE|NAME ... [--suite]``
+    Verify a corpus concurrently on a process pool with per-task budgets and
+    print one machine-readable JSON document for the whole batch.
+    Exit code: 0 when every task verified (safe or unsafe — a *verdict* is a
+    success), 2 when any task came back unknown or errored.
+
+``repro list``
+    List the built-in benchmark programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .core.engine import Budget, VerificationEngine, Verdict, result_to_dict, verify_many
+from .core.predabs import FRONTIER_NAMES
+from .core.verifier import REFINER_NAMES, make_refiner
+from .lang.programs import PROGRAMS
+
+EXIT_SAFE = 0
+EXIT_UNSAFE = 1
+EXIT_UNKNOWN = 2
+EXIT_ERROR = 3
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--refiner", choices=REFINER_NAMES, default="path-invariant",
+        help="refinement strategy (default: the paper's path-invariant refiner)",
+    )
+    parser.add_argument(
+        "--strategy", choices=FRONTIER_NAMES, default="bfs",
+        help="ART exploration order (default: bfs)",
+    )
+    parser.add_argument(
+        "--max-refinements", type=int, default=25, metavar="N",
+        help="CEGAR iteration budget (default: 25)",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=4000, metavar="N",
+        help="cumulative ART node budget (default: 4000)",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="wall-clock budget per task (default: none)",
+    )
+    parser.add_argument(
+        "--restart", action="store_true",
+        help="rebuild the ART from scratch after every refinement "
+        "(the baseline the incremental engine is benchmarked against)",
+    )
+
+
+def _load_source(target: str) -> tuple[str, str]:
+    """Resolve a CLI target to ``(name, source)``: builtin name or file path."""
+    if target in PROGRAMS:
+        return target, PROGRAMS[target].source
+    path = Path(target)
+    if path.exists():
+        return path.stem, path.read_text()
+    raise FileNotFoundError(
+        f"{target!r} is neither a built-in program nor an existing file; "
+        f"see 'repro list' for the built-ins"
+    )
+
+
+def _budget(args: argparse.Namespace) -> Budget:
+    return Budget(
+        max_refinements=args.max_refinements,
+        max_nodes=args.max_nodes,
+        max_seconds=args.max_seconds,
+    )
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    try:
+        name, source = _load_source(args.target)
+    except (FileNotFoundError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    engine = VerificationEngine(
+        source,
+        strategy=args.strategy,
+        budget=_budget(args),
+        incremental=not args.restart,
+    )
+    engine.refiner = make_refiner(args.refiner, engine.checker)
+    result = engine.run()
+    if args.json:
+        json.dump(result_to_dict(result, name=name), sys.stdout, indent=2)
+        print()
+    else:
+        print(result.summary())
+        if result.is_unsafe and result.counterexample is not None:
+            witness = result.counterexample.witness_inputs(engine.program.variables)
+            if witness:
+                rendered = ", ".join(f"{k} = {v}" for k, v in sorted(witness.items()))
+                print(f"witness:      {rendered}")
+        if result.precision is not None and args.show_precision:
+            print("precision:")
+            print(str(result.precision))
+    return {
+        Verdict.SAFE: EXIT_SAFE,
+        Verdict.UNSAFE: EXIT_UNSAFE,
+    }.get(result.verdict, EXIT_UNKNOWN)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    targets = list(args.targets)
+    if args.suite:
+        targets.extend(sorted(PROGRAMS))
+    if not targets:
+        print("error: no targets (pass files/names or --suite)", file=sys.stderr)
+        return EXIT_ERROR
+    tasks = []
+    for target in targets:
+        try:
+            name, source = _load_source(target)
+        except (FileNotFoundError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        tasks.append({"name": name, "source": source})
+    results = verify_many(
+        tasks,
+        refiner=args.refiner,
+        strategy=args.strategy,
+        budget=_budget(args),
+        incremental=not args.restart,
+        jobs=args.jobs,
+    )
+    payload = {
+        "tasks": len(results),
+        "verdicts": {
+            verdict: sum(1 for r in results if r["verdict"] == verdict)
+            for verdict in sorted({r["verdict"] for r in results})
+        },
+        "results": results,
+    }
+    output = json.dumps(payload, indent=2)
+    if args.output:
+        Path(args.output).write_text(output + "\n")
+        print(f"wrote {args.output} ({len(results)} results)")
+    else:
+        print(output)
+    decided = all(r["verdict"] in (Verdict.SAFE, Verdict.UNSAFE) for r in results)
+    return EXIT_SAFE if decided else EXIT_UNKNOWN
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in sorted(PROGRAMS):
+        program = PROGRAMS[name]
+        expected = "safe" if program.expected_safe else "unsafe"
+        print(f"{name:20s} {expected:7s} {program.description}")
+    return EXIT_SAFE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Path-invariant CEGAR verifier (PLDI 2007 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="verify one mini-C file or built-in program"
+    )
+    verify_parser.add_argument("target", help="source file path or built-in program name")
+    _add_engine_options(verify_parser)
+    verify_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    verify_parser.add_argument(
+        "--show-precision", action="store_true",
+        help="print the discovered predicates per location",
+    )
+    verify_parser.set_defaults(func=_cmd_verify)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="verify a corpus concurrently (JSON results)"
+    )
+    batch_parser.add_argument("targets", nargs="*", help="source files and/or built-in names")
+    batch_parser.add_argument("--suite", action="store_true", help="include every built-in program")
+    _add_engine_options(batch_parser)
+    batch_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="process-pool width (default: min(tasks, cpus); 1 = sequential)",
+    )
+    batch_parser.add_argument(
+        "--output", "-o", metavar="FILE", help="write the JSON document to FILE"
+    )
+    batch_parser.set_defaults(func=_cmd_batch)
+
+    list_parser = subparsers.add_parser("list", help="list built-in benchmark programs")
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,20 @@
 """The paper's contribution: path programs, path invariants, CEGAR."""
 
 from .pathprogram import Block, PathProgram, build_path_program, nested_blocks
-from .predabs import AbstractReachability, ArtNode, Precision, ReachabilityOutcome
+from .predabs import (
+    FRONTIER_NAMES,
+    AbstractReachability,
+    Art,
+    ArtNode,
+    BfsFrontier,
+    DfsFrontier,
+    ErrorDistanceFrontier,
+    ExploreLimits,
+    Frontier,
+    Precision,
+    ReachabilityOutcome,
+    make_frontier,
+)
 from .cex import CounterexampleAnalysis, analyze_counterexample, path_commands
 from .refiners import (
     PathFormulaRefiner,
@@ -9,7 +22,17 @@ from .refiners import (
     RefinementOutcome,
     Refiner,
 )
-from .cegar import CegarLoop, CegarResult, IterationRecord, Verdict
+from .engine import (
+    STRATEGY_NAMES,
+    Budget,
+    CegarResult,
+    IterationRecord,
+    Verdict,
+    VerificationEngine,
+    result_to_dict,
+    verify_many,
+)
+from .cegar import CegarLoop
 from .verifier import REFINER_NAMES, make_refiner, verify
 
 __all__ = [
@@ -18,9 +41,22 @@ __all__ = [
     "build_path_program",
     "nested_blocks",
     "AbstractReachability",
+    "Art",
     "ArtNode",
+    "BfsFrontier",
+    "DfsFrontier",
+    "ErrorDistanceFrontier",
+    "ExploreLimits",
+    "Frontier",
+    "FRONTIER_NAMES",
+    "make_frontier",
     "Precision",
     "ReachabilityOutcome",
+    "STRATEGY_NAMES",
+    "Budget",
+    "VerificationEngine",
+    "result_to_dict",
+    "verify_many",
     "CounterexampleAnalysis",
     "analyze_counterexample",
     "path_commands",

@@ -1,102 +1,32 @@
-"""The CEGAR driver (Section 4.1).
+"""The CEGAR driver (Section 4.1) — a thin client of the engine.
 
-The loop alternates the three classic phases — abstract reachability,
-counterexample analysis, abstraction refinement — until a safety proof or a
-feasible counterexample is found, a refinement step fails to make progress,
-or the iteration budget is exhausted (the problem is undecidable, so a budget
-is required; the baseline refiner in particular diverges by design on the
-paper's examples).
+The loop itself (abstract reachability, counterexample analysis, abstraction
+refinement, with budgets and incremental ART repair) lives in
+:class:`~repro.core.engine.VerificationEngine`.  This module keeps the
+historical :class:`CegarLoop` entry point and re-exports the result types so
+existing imports keep working.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Union
 
-from ..lang.cfg import Program, Transition
+from ..lang.cfg import Program
 from ..smt.vcgen import VcChecker
-from .cex import CounterexampleAnalysis, analyze_counterexample
-from .predabs import AbstractReachability, Precision, ReachabilityOutcome
-from .refiners import PathInvariantRefiner, Refiner, RefinementOutcome
+from .engine import Budget, CegarResult, IterationRecord, Verdict, VerificationEngine
+from .predabs import Frontier, Precision
+from .refiners import Refiner
 
 __all__ = ["Verdict", "IterationRecord", "CegarResult", "CegarLoop"]
 
 
-class Verdict:
-    SAFE = "safe"
-    UNSAFE = "unsafe"
-    UNKNOWN = "unknown"
-
-
-@dataclass
-class IterationRecord:
-    """Statistics of one CEGAR iteration."""
-
-    iteration: int
-    reachability: ReachabilityOutcome
-    counterexample_length: int = 0
-    counterexample_feasible: Optional[bool] = None
-    refinement: Optional[RefinementOutcome] = None
-    seconds: float = 0.0
-    #: Cumulative checker/solver counters at the end of the iteration (the
-    #: shared VcChecker memoises queries across iterations, so deltas between
-    #: consecutive records show what each round actually cost).
-    solver_stats: Optional[dict[str, int]] = None
-
-
-@dataclass
-class CegarResult:
-    """Final outcome of a CEGAR run."""
-
-    verdict: str
-    program: Program
-    iterations: list[IterationRecord] = field(default_factory=list)
-    precision: Optional[Precision] = None
-    counterexample: Optional[CounterexampleAnalysis] = None
-    reason: str = ""
-    total_seconds: float = 0.0
-
-    @property
-    def is_safe(self) -> bool:
-        return self.verdict == Verdict.SAFE
-
-    @property
-    def is_unsafe(self) -> bool:
-        return self.verdict == Verdict.UNSAFE
-
-    @property
-    def num_refinements(self) -> int:
-        return sum(1 for record in self.iterations if record.refinement is not None)
-
-    def total_predicates(self) -> int:
-        return self.precision.total_predicates() if self.precision else 0
-
-    def summary(self) -> str:
-        lines = [
-            f"program:      {self.program.name}",
-            f"verdict:      {self.verdict}",
-            f"iterations:   {len(self.iterations)}",
-            f"refinements:  {self.num_refinements}",
-            f"predicates:   {self.total_predicates()}",
-            f"time:         {self.total_seconds:.2f}s",
-        ]
-        if self.iterations and self.iterations[-1].solver_stats:
-            stats = self.iterations[-1].solver_stats
-            lines.append(
-                "solver:       "
-                f"{stats.get('sat_queries', 0)} sat queries, "
-                f"{stats.get('cache_hits', 0)} cache hits, "
-                f"{stats.get('splits', 0)} splits, "
-                f"{stats.get('triple_cache_hits', 0)} triple cache hits"
-            )
-        if self.reason:
-            lines.append(f"reason:       {self.reason}")
-        return "\n".join(lines)
-
-
 class CegarLoop:
-    """Counterexample-guided abstraction refinement with pluggable refiners."""
+    """Counterexample-guided abstraction refinement with pluggable refiners.
+
+    A compatibility facade over :class:`VerificationEngine`; the keyword
+    arguments mirror the pre-engine constructor, plus the engine's
+    ``strategy`` and ``incremental`` knobs.
+    """
 
     def __init__(
         self,
@@ -105,84 +35,27 @@ class CegarLoop:
         checker: Optional[VcChecker] = None,
         max_refinements: int = 25,
         max_art_nodes: int = 4000,
+        strategy: Union[str, Frontier] = "bfs",
+        incremental: bool = True,
+        max_seconds: Optional[float] = None,
+        max_solver_calls: Optional[int] = None,
     ) -> None:
-        self.program = program
-        self.checker = checker or VcChecker()
-        self.refiner = refiner if refiner is not None else PathInvariantRefiner(self.checker)
-        self.max_refinements = max_refinements
-        self.reachability = AbstractReachability(program, self.checker, max_art_nodes)
+        self.engine = VerificationEngine(
+            program,
+            refiner=refiner,
+            checker=checker,
+            strategy=strategy,
+            budget=Budget(
+                max_refinements=max_refinements,
+                max_nodes=max_art_nodes,
+                max_seconds=max_seconds,
+                max_solver_calls=max_solver_calls,
+            ),
+            incremental=incremental,
+        )
+        self.program = self.engine.program
+        self.checker = self.engine.checker
+        self.refiner = self.engine.refiner
 
-    # ------------------------------------------------------------------
     def run(self, initial_precision: Optional[Precision] = None) -> CegarResult:
-        start = time.perf_counter()
-        precision = initial_precision.copy() if initial_precision else Precision()
-        iterations: list[IterationRecord] = []
-
-        for iteration in range(self.max_refinements + 1):
-            iteration_start = time.perf_counter()
-            outcome = self.reachability.run(precision)
-            record = IterationRecord(iteration, outcome)
-            iterations.append(record)
-
-            def seal(record: IterationRecord = record, started: float = iteration_start) -> None:
-                record.seconds = time.perf_counter() - started
-                record.solver_stats = self.checker.statistics()
-
-            if outcome.exhausted:
-                seal()
-                return self._finish(
-                    Verdict.UNKNOWN, precision, iterations, start,
-                    reason="abstract reachability exceeded its node budget",
-                )
-            if outcome.counterexample is None:
-                seal()
-                return self._finish(Verdict.SAFE, precision, iterations, start)
-
-            path = outcome.counterexample
-            record.counterexample_length = len(path)
-            analysis = analyze_counterexample(path, self.checker)
-            record.counterexample_feasible = analysis.feasible
-            if analysis.feasible:
-                seal()
-                result = self._finish(Verdict.UNSAFE, precision, iterations, start)
-                result.counterexample = analysis
-                if analysis.approximate:
-                    result.reason = "feasibility decided with an approximate integer check"
-                return result
-
-            if iteration == self.max_refinements:
-                seal()
-                return self._finish(
-                    Verdict.UNKNOWN, precision, iterations, start,
-                    reason=f"refinement budget of {self.max_refinements} exhausted",
-                )
-
-            refinement = self.refiner.refine(self.program, path, precision)
-            record.refinement = refinement
-            seal()
-            if not refinement.progress:
-                return self._finish(
-                    Verdict.UNKNOWN, precision, iterations, start,
-                    reason=f"refinement made no progress: {refinement.description}",
-                )
-        return self._finish(
-            Verdict.UNKNOWN, precision, iterations, start, reason="iteration budget exhausted"
-        )
-
-    # ------------------------------------------------------------------
-    def _finish(
-        self,
-        verdict: str,
-        precision: Precision,
-        iterations: list[IterationRecord],
-        start: float,
-        reason: str = "",
-    ) -> CegarResult:
-        return CegarResult(
-            verdict=verdict,
-            program=self.program,
-            iterations=iterations,
-            precision=precision,
-            reason=reason,
-            total_seconds=time.perf_counter() - start,
-        )
+        return self.engine.run(initial_precision)

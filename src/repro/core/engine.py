@@ -1,0 +1,484 @@
+"""The incremental lazy-abstraction verification engine.
+
+:class:`VerificationEngine` owns everything one verification task needs — the
+program, the growing precision, the persistent abstract reachability tree,
+the refiner, the exploration strategy and the budgets — and drives the CEGAR
+loop through them:
+
+1. *Explore*: advance the persistent ART's frontier under the current
+   precision (:meth:`~repro.core.predabs.Art.explore`).
+2. *Analyse*: decide feasibility of the abstract counterexample.
+3. *Refine*: ask the refiner for new predicates, then *repair* the ART with
+   :meth:`~repro.core.predabs.Art.apply_refinement` instead of discarding it
+   (pass ``incremental=False`` for the restart-the-world baseline).
+
+Per-iteration statistics record how much work was reused versus recomputed
+(`nodes reused`, `post decisions`, repair counters), which is what the
+``bench_e8`` benchmark tracks over time.
+
+The module also hosts the batch layer: :func:`verify_many` runs a corpus of
+programs concurrently on a process pool with per-task budgets and returns
+machine-readable results (wired to the ``python -m repro`` CLI).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+from ..lang.ast import FunctionDef
+from ..lang.cfg import Program, build_program, program_from_source
+from ..smt.vcgen import VcChecker
+from .cex import CounterexampleAnalysis, analyze_counterexample
+from .predabs import (
+    FRONTIER_NAMES,
+    Art,
+    ExploreLimits,
+    Frontier,
+    Precision,
+    ReachabilityOutcome,
+    make_frontier,
+)
+from .refiners import PathInvariantRefiner, Refiner, RefinementOutcome
+
+__all__ = [
+    "Verdict",
+    "Budget",
+    "IterationRecord",
+    "CegarResult",
+    "VerificationEngine",
+    "STRATEGY_NAMES",
+    "verify_many",
+    "result_to_dict",
+]
+
+#: The exploration strategies the engine accepts by name.
+STRATEGY_NAMES = FRONTIER_NAMES
+
+
+class Verdict:
+    SAFE = "safe"
+    UNSAFE = "unsafe"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Budget:
+    """Resource limits of one verification task.
+
+    ``max_refinements`` bounds CEGAR iterations (the problem is undecidable,
+    so a bound is required; the baseline refiner in particular diverges by
+    design on the paper's examples).  ``max_nodes`` bounds cumulative ART
+    nodes, ``max_seconds`` the wall clock, and ``max_solver_calls`` the
+    checker's Hoare-triple count.
+    """
+
+    max_refinements: int = 25
+    max_nodes: Optional[int] = 4000
+    max_seconds: Optional[float] = None
+    max_solver_calls: Optional[int] = None
+
+
+@dataclass
+class IterationRecord:
+    """Statistics of one CEGAR iteration."""
+
+    iteration: int
+    reachability: ReachabilityOutcome
+    counterexample_length: int = 0
+    counterexample_feasible: Optional[bool] = None
+    refinement: Optional[RefinementOutcome] = None
+    seconds: float = 0.0
+    #: Cumulative checker/solver counters at the end of the iteration (the
+    #: shared VcChecker memoises queries across iterations, so deltas between
+    #: consecutive records show what each round actually cost).
+    solver_stats: Optional[dict[str, int]] = None
+    #: Abstract-post decisions requested by reachability this iteration.
+    post_decisions: int = 0
+    #: ART nodes created this iteration.
+    nodes_created: int = 0
+    #: Repair counters of the refinement closing this iteration
+    #: (``rechecked`` / ``reused`` / ``strengthened`` / ``invalidated``);
+    #: None on the restart baseline and on iterations without a refinement.
+    repair: Optional[dict[str, int]] = None
+
+
+@dataclass
+class CegarResult:
+    """Final outcome of a CEGAR run."""
+
+    verdict: str
+    program: Program
+    iterations: list[IterationRecord] = field(default_factory=list)
+    precision: Optional[Precision] = None
+    counterexample: Optional[CounterexampleAnalysis] = None
+    reason: str = ""
+    total_seconds: float = 0.0
+    #: Engine-level reuse counters (strategy, incremental flag, cumulative
+    #: ART statistics); None for results not produced by the engine.
+    engine_stats: Optional[dict[str, Any]] = None
+
+    @property
+    def is_safe(self) -> bool:
+        return self.verdict == Verdict.SAFE
+
+    @property
+    def is_unsafe(self) -> bool:
+        return self.verdict == Verdict.UNSAFE
+
+    @property
+    def num_refinements(self) -> int:
+        return sum(1 for record in self.iterations if record.refinement is not None)
+
+    def total_predicates(self) -> int:
+        return self.precision.total_predicates() if self.precision else 0
+
+    def post_decisions(self) -> int:
+        """Abstract-post decisions requested across the whole run."""
+        return sum(record.post_decisions for record in self.iterations)
+
+    def nodes_reused(self) -> int:
+        """ART nodes that survived a repair (work a restart would redo).
+
+        Summed over all repairs: a node retained across ``k`` refinements
+        counts ``k`` times, because a restart engine would re-derive it
+        ``k`` times.
+        """
+        return sum(
+            record.repair.get("retained", 0)
+            for record in self.iterations
+            if record.repair is not None
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"program:      {self.program.name}",
+            f"verdict:      {self.verdict}",
+            f"iterations:   {len(self.iterations)}",
+            f"refinements:  {self.num_refinements}",
+            f"predicates:   {self.total_predicates()}",
+            f"time:         {self.total_seconds:.2f}s",
+        ]
+        if self.engine_stats:
+            lines.append(
+                "art:          "
+                f"{self.engine_stats.get('nodes_created', 0)} nodes created, "
+                f"{self.engine_stats.get('nodes_reused', 0)} reused, "
+                f"{self.engine_stats.get('nodes_invalidated', 0)} invalidated, "
+                f"{self.post_decisions()} post decisions "
+                f"({self.engine_stats.get('strategy', '?')}, "
+                f"{'incremental' if self.engine_stats.get('incremental') else 'restart'})"
+            )
+        if self.iterations and self.iterations[-1].solver_stats:
+            stats = self.iterations[-1].solver_stats
+            lines.append(
+                "solver:       "
+                f"{stats.get('sat_queries', 0)} sat queries, "
+                f"{stats.get('cache_hits', 0)} cache hits, "
+                f"{stats.get('splits', 0)} splits, "
+                f"{stats.get('triple_cache_hits', 0)} triple cache hits"
+            )
+        if self.reason:
+            lines.append(f"reason:       {self.reason}")
+        return "\n".join(lines)
+
+
+class VerificationEngine:
+    """Counterexample-guided abstraction refinement over a persistent ART."""
+
+    def __init__(
+        self,
+        program: Union[str, FunctionDef, Program],
+        refiner: Optional[Refiner] = None,
+        checker: Optional[VcChecker] = None,
+        strategy: Union[str, Frontier] = "bfs",
+        budget: Optional[Budget] = None,
+        incremental: bool = True,
+    ) -> None:
+        if isinstance(program, str):
+            program = program_from_source(program)
+        elif isinstance(program, FunctionDef):
+            program = build_program(program)
+        self.program = program
+        self.checker = checker or VcChecker()
+        self.refiner = refiner if refiner is not None else PathInvariantRefiner(self.checker)
+        self.budget = budget or Budget()
+        self.incremental = incremental
+        if isinstance(strategy, Frontier):
+            # A frontier instance is consumed by the first tree only; later
+            # fresh trees (restart mode, repeated run()) get a new frontier —
+            # sharing one would leak obligations of a discarded tree.
+            self.strategy_name = strategy.name
+            self._given_frontier: Optional[Frontier] = strategy
+        else:
+            self.strategy_name = strategy
+            self._given_frontier = None
+            make_frontier(strategy, self.program)  # fail fast on unknown names
+        self.art: Optional[Art] = None
+
+    # ------------------------------------------------------------------
+    def run(self, initial_precision: Optional[Precision] = None) -> CegarResult:
+        start = time.perf_counter()
+        precision = initial_precision.copy() if initial_precision else Precision()
+        iterations: list[IterationRecord] = []
+        deadline = (
+            start + self.budget.max_seconds if self.budget.max_seconds is not None else None
+        )
+        limits = ExploreLimits(
+            max_nodes=self.budget.max_nodes,
+            deadline=deadline,
+            max_solver_calls=self.budget.max_solver_calls,
+        )
+        self.art = self._fresh_art()
+
+        for iteration in range(self.budget.max_refinements + 1):
+            iteration_start = time.perf_counter()
+            posts_before = self.art.post_decisions
+            created_before = self.art.nodes_created
+            outcome = self.art.explore(precision, limits)
+            record = IterationRecord(iteration, outcome)
+            iterations.append(record)
+
+            def seal(
+                record: IterationRecord = record,
+                started: float = iteration_start,
+                art: Art = self.art,
+                posts_before: int = posts_before,
+                created_before: int = created_before,
+            ) -> None:
+                record.seconds = time.perf_counter() - started
+                record.solver_stats = self.checker.statistics()
+                record.post_decisions = art.post_decisions - posts_before
+                record.nodes_created = art.nodes_created - created_before
+
+            if outcome.exhausted:
+                seal()
+                return self._finish(
+                    Verdict.UNKNOWN, precision, iterations, start,
+                    reason=f"abstract reachability stopped: {outcome.exhausted_reason}",
+                )
+            if outcome.counterexample is None:
+                seal()
+                return self._finish(Verdict.SAFE, precision, iterations, start)
+
+            path = outcome.counterexample
+            record.counterexample_length = len(path)
+            analysis = analyze_counterexample(path, self.checker)
+            record.counterexample_feasible = analysis.feasible
+            if analysis.feasible:
+                seal()
+                result = self._finish(Verdict.UNSAFE, precision, iterations, start)
+                result.counterexample = analysis
+                if analysis.approximate:
+                    result.reason = "feasibility decided with an approximate integer check"
+                return result
+
+            if iteration == self.budget.max_refinements:
+                seal()
+                return self._finish(
+                    Verdict.UNKNOWN, precision, iterations, start,
+                    reason=f"refinement budget of {self.budget.max_refinements} exhausted",
+                )
+
+            mark = precision.mark()
+            refinement = self.refiner.refine(self.program, path, precision)
+            record.refinement = refinement
+            if not refinement.progress:
+                seal()
+                return self._finish(
+                    Verdict.UNKNOWN, precision, iterations, start,
+                    reason=f"refinement made no progress: {refinement.description}",
+                )
+            if self.incremental:
+                record.repair = self.art.apply_refinement(
+                    precision, precision.added_since(mark)
+                )
+            else:
+                self.art = self._fresh_art()
+            seal()
+        return self._finish(
+            Verdict.UNKNOWN, precision, iterations, start, reason="iteration budget exhausted"
+        )
+
+    # ------------------------------------------------------------------
+    def _fresh_art(self) -> Art:
+        frontier, self._given_frontier = self._given_frontier, None
+        if frontier is None:
+            try:
+                frontier = make_frontier(self.strategy_name, self.program)
+            except ValueError:
+                raise ValueError(
+                    f"cannot build a fresh {self.strategy_name!r} frontier for a new "
+                    "tree; custom Frontier instances support a single tree only"
+                ) from None
+        return Art(self.program, self.checker, frontier)
+
+    def _finish(
+        self,
+        verdict: str,
+        precision: Precision,
+        iterations: list[IterationRecord],
+        start: float,
+        reason: str = "",
+    ) -> CegarResult:
+        engine_stats: dict[str, Any] = {
+            "strategy": self.strategy_name,
+            "incremental": self.incremental,
+        }
+        if self.art is not None:
+            art_stats = self.art.statistics()
+            engine_stats.update(art_stats)
+            # Normalise reuse to the result-level definition: nodes retained
+            # across repairs (each retention is work a restart would redo).
+            engine_stats["nodes_reused"] = sum(
+                r.repair.get("retained", 0) for r in iterations if r.repair is not None
+            )
+            if not self.incremental:
+                # The restart baseline discards trees; report run-wide totals
+                # instead of the last tree's counters.
+                engine_stats["nodes_created"] = sum(r.nodes_created for r in iterations)
+                engine_stats["post_decisions"] = sum(r.post_decisions for r in iterations)
+        return CegarResult(
+            verdict=verdict,
+            program=self.program,
+            iterations=iterations,
+            precision=precision,
+            reason=reason,
+            total_seconds=time.perf_counter() - start,
+            engine_stats=engine_stats,
+        )
+
+
+# ----------------------------------------------------------------------
+# Batch verification
+# ----------------------------------------------------------------------
+def result_to_dict(result: CegarResult, name: Optional[str] = None) -> dict[str, Any]:
+    """A JSON-serialisable view of a :class:`CegarResult`."""
+    payload: dict[str, Any] = {
+        "name": name or result.program.name,
+        "verdict": result.verdict,
+        "reason": result.reason,
+        "iterations": len(result.iterations),
+        "refinements": result.num_refinements,
+        "predicates": result.total_predicates(),
+        "seconds": round(result.total_seconds, 6),
+        "post_decisions": result.post_decisions(),
+        "nodes_reused": result.nodes_reused(),
+        "engine": result.engine_stats,
+        "per_iteration": [
+            {
+                "iteration": record.iteration,
+                "nodes_created": record.nodes_created,
+                "post_decisions": record.post_decisions,
+                "counterexample_length": record.counterexample_length,
+                "counterexample_feasible": record.counterexample_feasible,
+                "new_predicates": (
+                    record.refinement.new_predicates if record.refinement else 0
+                ),
+                "repair": record.repair,
+                "seconds": round(record.seconds, 6),
+            }
+            for record in result.iterations
+        ],
+    }
+    if result.counterexample is not None and result.counterexample.model:
+        payload["witness"] = {
+            str(var): str(value) for var, value in result.counterexample.model.items()
+        }
+    if result.iterations and result.iterations[-1].solver_stats:
+        payload["solver"] = result.iterations[-1].solver_stats
+    return payload
+
+
+def _run_batch_task(payload: dict[str, Any]) -> dict[str, Any]:
+    """Process-pool worker: verify one source text and return a result dict.
+
+    Module-level so it pickles; builds everything from primitives because
+    Program/VcChecker instances do not cross process boundaries.
+    """
+    try:
+        engine = VerificationEngine(
+            payload["source"],
+            strategy=payload["strategy"],
+            budget=Budget(**payload["budget"]),
+            incremental=payload["incremental"],
+        )
+        # The refiner needs the engine's checker; build it here rather than
+        # shipping one over.
+        from .verifier import make_refiner
+
+        engine.refiner = make_refiner(payload["refiner"], engine.checker)
+        result = engine.run()
+        return result_to_dict(result, name=payload["name"])
+    except Exception as error:  # pragma: no cover - defensive per-task isolation
+        return {"name": payload["name"], "verdict": "error", "reason": repr(error)}
+
+
+def _normalise_tasks(
+    tasks: Sequence[Union[str, tuple[str, str], dict[str, str]]]
+) -> list[dict[str, str]]:
+    """Accept builtin names, raw sources, (name, source) pairs or dicts."""
+    from ..lang.programs import PROGRAMS
+
+    normalised = []
+    for index, task in enumerate(tasks):
+        if isinstance(task, dict):
+            normalised.append({"name": task["name"], "source": task["source"]})
+        elif isinstance(task, tuple):
+            name, source = task
+            normalised.append({"name": name, "source": source})
+        elif task in PROGRAMS:
+            normalised.append({"name": task, "source": PROGRAMS[task].source})
+        else:
+            normalised.append({"name": f"task{index}", "source": task})
+    return normalised
+
+
+def verify_many(
+    tasks: Sequence[Union[str, tuple[str, str], dict[str, str]]],
+    refiner: str = "path-invariant",
+    strategy: str = "bfs",
+    budget: Optional[Budget] = None,
+    incremental: bool = True,
+    jobs: Optional[int] = None,
+) -> list[dict[str, Any]]:
+    """Verify a corpus of programs, optionally on a process pool.
+
+    Parameters
+    ----------
+    tasks:
+        Built-in program names, raw mini-C sources, ``(name, source)`` pairs,
+        or ``{"name", "source"}`` dicts, freely mixed.
+    jobs:
+        Pool width.  ``None`` picks ``min(len(tasks), cpu_count)``; ``1``
+        (or a single task) runs sequentially in-process.  If the platform
+        refuses to spawn a pool (sandboxes without semaphores), the batch
+        silently degrades to sequential execution.
+
+    Returns one JSON-serialisable result dict per task, in input order.
+    """
+    budget = budget or Budget()
+    payloads = [
+        {
+            "name": task["name"],
+            "source": task["source"],
+            "refiner": refiner,
+            "strategy": strategy,
+            "budget": vars(budget),
+            "incremental": incremental,
+        }
+        for task in _normalise_tasks(tasks)
+    ]
+    if jobs is None:
+        jobs = min(len(payloads), os.cpu_count() or 1)
+    if jobs > 1 and len(payloads) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(_run_batch_task, payloads))
+        except (OSError, PermissionError, ImportError):
+            pass  # fall through to the sequential path
+    return [_run_batch_task(payload) for payload in payloads]

@@ -13,7 +13,7 @@ from typing import Optional, Union
 from ..lang.ast import FunctionDef
 from ..lang.cfg import Program, build_program, program_from_source
 from ..smt.vcgen import VcChecker
-from .cegar import CegarLoop, CegarResult
+from .engine import Budget, CegarResult, VerificationEngine
 from .refiners import PathFormulaRefiner, PathInvariantRefiner, Refiner
 
 __all__ = ["verify", "make_refiner", "REFINER_NAMES"]
@@ -36,8 +36,15 @@ def verify(
     max_refinements: int = 25,
     max_art_nodes: int = 4000,
     checker: Optional[VcChecker] = None,
+    strategy: str = "bfs",
+    max_seconds: Optional[float] = None,
+    incremental: bool = True,
 ) -> CegarResult:
     """Verify the assertions of a program.
+
+    A compatibility wrapper around :class:`VerificationEngine` — the original
+    signature is preserved; the engine's knobs are exposed as optional
+    keyword arguments.
 
     Parameters
     ----------
@@ -51,6 +58,15 @@ def verify(
     max_refinements:
         Budget on CEGAR iterations; the baseline refiner needs this on
         programs whose proofs require loop invariants.
+    strategy:
+        Exploration order of the abstract reachability tree: ``"bfs"`` (the
+        default), ``"dfs"``, or ``"error-distance"``.
+    max_seconds:
+        Optional wall-clock budget for the whole run.
+    incremental:
+        Keep one persistent ART across refinements (default).  ``False``
+        rebuilds the tree from scratch after every refinement — the
+        restart-the-world baseline the benchmarks compare against.
     """
     if isinstance(program, str):
         program = program_from_source(program)
@@ -59,11 +75,16 @@ def verify(
 
     checker = checker or VcChecker()
     refiner_obj = refiner if isinstance(refiner, Refiner) else make_refiner(refiner, checker)
-    loop = CegarLoop(
+    engine = VerificationEngine(
         program,
         refiner=refiner_obj,
         checker=checker,
-        max_refinements=max_refinements,
-        max_art_nodes=max_art_nodes,
+        strategy=strategy,
+        budget=Budget(
+            max_refinements=max_refinements,
+            max_nodes=max_art_nodes,
+            max_seconds=max_seconds,
+        ),
+        incremental=incremental,
     )
-    return loop.run()
+    return engine.run()

@@ -9,7 +9,12 @@ semantic questions about straight-line code:
 * ``is_feasible(commands, pre)`` — satisfiability of the path formula, used
   by the counterexample-analysis phase, and
 * ``check_entailment(lhs, rhs)`` — implication between two state formulas
-  (used by predicate abstraction for covering checks).
+  (used by predicate abstraction for covering checks),
+* ``edge_feasible(state, transition)`` / ``post_predicate_holds(state,
+  transition, predicate)`` — the abstract-post oracle used by the (persistent)
+  abstract reachability tree, memoised on ``(source-state, transition[,
+  predicate])`` so that re-expanding an untouched ART region after a
+  refinement is pure cache hits.
 
 Both ``pre`` and ``post`` may contain universally quantified conjuncts of the
 array-property fragment.  The pipeline follows Section 4.2 of the paper:
@@ -62,6 +67,18 @@ class VcChecker:
         #: obligations that differ as triples but normalise to the same
         #: quantifier-free formula.
         self._triple_cache: dict[tuple, bool] = {}
+        #: Abstract-post memo (the ART-facing layer).  Keys are
+        #: ``(source-state, transition)`` for edge feasibility and
+        #: ``(source-state, transition, predicate)`` for per-predicate posts.
+        #: Neither verdict depends on the precision, so entries stay valid
+        #: across refinements and across engine instances sharing a checker.
+        self._edge_cache: dict[tuple, bool] = {}
+        self._post_cache: dict[tuple, bool] = {}
+        self._state_formulas: dict[frozenset, Formula] = {}
+        self.num_edge_queries = 0
+        self.edge_cache_hits = 0
+        self.num_post_queries = 0
+        self.post_cache_hits = 0
 
     def statistics(self) -> dict[str, int]:
         """Counter snapshot across the checker and its solver.
@@ -75,6 +92,10 @@ class VcChecker:
             "triple_checks": self.num_triple_checks,
             "feasibility_checks": self.num_feasibility_checks,
             "triple_cache_hits": self.cache_hits,
+            "edge_queries": self.num_edge_queries,
+            "edge_cache_hits": self.edge_cache_hits,
+            "post_queries": self.num_post_queries,
+            "post_cache_hits": self.post_cache_hits,
             "sat_queries": self.solver.num_sat_queries,
             "entailment_queries": self.solver.num_entailment_queries,
         }
@@ -106,6 +127,54 @@ class VcChecker:
         )
         verdict = self._is_unsat_obligation(obligation, translation)
         self._triple_cache[key] = verdict
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Abstract-post oracle (memoised on ART-level keys)
+    # ------------------------------------------------------------------
+    def state_formula(self, state: frozenset) -> Formula:
+        """The conjunction of an abstract state's predicates (cached).
+
+        Abstract states are small frozensets of hash-consed formulas; the
+        same state recurs across thousands of post queries, so the sorted
+        conjunction is built once per distinct state.
+        """
+        formula = self._state_formulas.get(state)
+        if formula is None:
+            formula = conjoin(sorted(state, key=str))
+            self._state_formulas[state] = formula
+        return formula
+
+    def edge_feasible(self, state: frozenset, transition) -> bool:
+        """May ``transition`` fire from the abstract state?
+
+        ``transition`` is any hashable object with a ``commands`` tuple (a
+        :class:`~repro.lang.cfg.Transition`).  The verdict only depends on the
+        state and the commands, never on the precision, so the memo survives
+        refinements unchanged.
+        """
+        self.num_edge_queries += 1
+        key = (state, transition)
+        cached = self._edge_cache.get(key)
+        if cached is not None:
+            self.edge_cache_hits += 1
+            return cached
+        pre = self.state_formula(state)
+        verdict = not self.check_triple(pre, transition.commands, FALSE)
+        self._edge_cache[key] = verdict
+        return verdict
+
+    def post_predicate_holds(self, state: frozenset, transition, predicate: Formula) -> bool:
+        """Does ``predicate`` hold after firing ``transition`` from ``state``?"""
+        self.num_post_queries += 1
+        key = (state, transition, predicate)
+        cached = self._post_cache.get(key)
+        if cached is not None:
+            self.post_cache_hits += 1
+            return cached
+        pre = self.state_formula(state)
+        verdict = self.check_triple(pre, transition.commands, predicate)
+        self._post_cache[key] = verdict
         return verdict
 
     def check_entailment(self, lhs: Formula, rhs: Formula) -> bool:

@@ -1,0 +1,98 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+SRC_ROOT = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def run_cli(args):
+    """Run the CLI in-process, capturing stdout via capsys at the call site."""
+    return main(args)
+
+
+class TestVerifyCommand:
+    def test_builtin_safe_program(self, capsys):
+        assert run_cli(["verify", "lock_step"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:      safe" in out
+        assert "incremental" in out
+
+    def test_unsafe_exit_code_and_witness(self, capsys):
+        assert run_cli(["verify", "simple_unsafe"]) == 1
+        assert "verdict:      unsafe" in capsys.readouterr().out
+
+    def test_unknown_exit_code(self, capsys):
+        assert run_cli(["verify", "forward", "--refiner", "path-formula",
+                        "--max-refinements", "2"]) == 2
+
+    def test_json_output(self, capsys):
+        assert run_cli(["verify", "lock_step", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "lock_step"
+        assert payload["verdict"] == "safe"
+        assert payload["engine"]["incremental"] is True
+
+    def test_restart_flag(self, capsys):
+        assert run_cli(["verify", "lock_step", "--json", "--restart"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"]["incremental"] is False
+
+    def test_source_file(self, tmp_path, capsys):
+        source = tmp_path / "abs.c"
+        source.write_text(
+            "void abs_ok(int x) { int y; if (x >= 0) { y = x; } else { y = 0 - x; } assert(y >= 0); }"
+        )
+        assert run_cli(["verify", str(source)]) == 0
+        assert "abs_ok" in capsys.readouterr().out
+
+    def test_missing_target(self, capsys):
+        assert run_cli(["verify", "no_such_program"]) == 3
+        assert "neither a built-in" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_batch_json_document(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        code = run_cli([
+            "batch", "lock_step", "simple_unsafe",
+            "--jobs", "1", "--output", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["tasks"] == 2
+        assert payload["verdicts"] == {"safe": 1, "unsafe": 1}
+
+    def test_batch_unknown_exit_code(self, capsys):
+        code = run_cli(["batch", "forward", "--jobs", "1", "--max-refinements", "0"])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["verdict"] == "unknown"
+
+    def test_batch_requires_targets(self, capsys):
+        assert run_cli(["batch"]) == 3
+
+
+class TestListCommand:
+    def test_lists_builtins(self, capsys):
+        assert run_cli(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "forward" in out and "initcheck" in out
+
+
+@pytest.mark.slow
+def test_module_entry_point_subprocess():
+    """``python -m repro`` works end to end in a fresh interpreter."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "verify", "lock_step", "--json"],
+        capture_output=True, text=True, timeout=300,
+        env={"PYTHONPATH": SRC_ROOT, "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert json.loads(completed.stdout)["verdict"] == "safe"
