@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr2.json``.
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr3.json``.
 
-Two data sections feed the perf trajectory:
+Three data sections feed the perf trajectory:
 
-* ``pytest``  — every ``bench_e*.py`` benchmark run through pytest-benchmark
+* ``pytest``    — every ``bench_e*.py`` benchmark run through pytest-benchmark
   (wall time per benchmark plus the experiment facts each test records in
   ``extra_info``: verdicts, refinement counts, reductions, ...).
-* ``engine``  — direct incremental-vs-restart engine runs over the suite
+* ``engine``    — direct incremental-vs-restart engine runs over the suite
   programs, recording per program: wall time, ART nodes created/reused,
   abstract-post decisions, and solver calls for both modes.
+* ``portfolio`` — the refiner portfolio on the divergent corpus: per program
+  the single-refiner baselines and the round-robin portfolio's verdict,
+  winner, per-arm statuses and total cost (the bench_e9 complementarity
+  story in raw numbers).
 
 Usage::
 
-    python benchmarks/run_all.py                  # full run, writes BENCH_pr2.json
-    python benchmarks/run_all.py --skip-pytest    # engine section only (fast)
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr3.json
+    python benchmarks/run_all.py --skip-pytest    # direct sections only (fast)
     python benchmarks/run_all.py -o out.json
 """
 
@@ -31,8 +35,8 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core import verify  # noqa: E402  (path set up above)
-from repro.lang import get_program  # noqa: E402
+from repro.core import PortfolioEngine, verify  # noqa: E402  (path set up above)
+from repro.lang import get_program, get_source  # noqa: E402
 
 #: Programs of the engine section, with per-program refinement budgets (the
 #: divergent ones are capped where rounds get solver-expensive).
@@ -128,11 +132,69 @@ def run_engine_section() -> list[dict]:
     return records
 
 
+#: The portfolio section's corpus: the divergent programs (path-formula
+#: unrolls forever) plus one where the cheap baseline is perfectly adequate.
+PORTFOLIO_PROGRAMS = ["forward", "double_counter", "lock_step"]
+
+
+def run_portfolio_section() -> list[dict]:
+    """Single-refiner baselines vs the round-robin portfolio.
+
+    Both sides run under the same refinement budget, so the recorded
+    seconds/post-decision comparison is the ISSUE's "same total budget"
+    claim in raw numbers.
+    """
+    from repro.core import Budget
+
+    max_refinements = 12
+    records = []
+    for name in PORTFOLIO_PROGRAMS:
+        row: dict = {"program": name, "max_refinements": max_refinements}
+        for refiner in ("path-invariant", "path-formula"):
+            started = time.perf_counter()
+            result = verify(
+                get_program(name), refiner=refiner, max_refinements=max_refinements
+            )
+            row[refiner] = {
+                "verdict": result.verdict,
+                "seconds": round(time.perf_counter() - started, 4),
+                "refinements": result.num_refinements,
+                "post_decisions": result.post_decisions(),
+            }
+        started = time.perf_counter()
+        portfolio = PortfolioEngine(
+            get_source(name),
+            mode="round-robin",
+            budget=Budget(max_refinements=max_refinements),
+        ).run()
+        row["portfolio"] = {
+            "verdict": portfolio.verdict,
+            "winner": portfolio.winner,
+            "seconds": round(time.perf_counter() - started, 4),
+            "post_decisions": sum(arm["post_decisions"] for arm in portfolio.arms),
+            "arms": {
+                arm["refiner"]: {
+                    "status": arm["status"],
+                    "refinements": arm["refinements"],
+                    "budget_class": arm["budget_class"],
+                }
+                for arm in portfolio.arms
+            },
+        }
+        records.append(row)
+        print(
+            f"  {name:18s} portfolio={portfolio.verdict}/{portfolio.winner} "
+            f"pi={row['path-invariant']['verdict']} pf={row['path-formula']['verdict']} "
+            f"({row['portfolio']['seconds']}s)"
+        )
+    return records
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr2.json"),
-        help="where to write the JSON report (default: repo root BENCH_pr2.json)",
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr3.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr3.json)",
     )
     parser.add_argument(
         "--skip-pytest", action="store_true",
@@ -144,6 +206,8 @@ def main(argv=None) -> int:
     report: dict = {"suite": "bench_e*", "sections": {}}
     print("engine section (incremental vs restart):")
     report["sections"]["engine"] = run_engine_section()
+    print("portfolio section (refiner complementarity):")
+    report["sections"]["portfolio"] = run_portfolio_section()
     if not args.skip_pytest:
         print("pytest section (bench_e*.py):")
         report["sections"]["pytest"] = run_pytest_section()

@@ -77,6 +77,18 @@ def main() -> None:
     lengths = [r.counterexample_length for r in baseline.iterations if r.counterexample_length]
     print(f"counterexample lengths per iteration: {lengths} (the loop is being unrolled)")
 
+    print()
+    print("The portfolio picks the refiner for you (and demotes a diverging one):")
+    portfolio = verify(SOURCE, refiner="portfolio", portfolio_mode="round-robin")
+    print(portfolio.summary())
+    print(
+        f"  -> winner: {portfolio.winner}; per-arm divergence verdicts: "
+        + ", ".join(
+            f"{arm['refiner']}={arm['budget_class']}" for arm in portfolio.arms
+        )
+    )
+    print("Same from the shell:  python -m repro verify forward --refiner portfolio")
+
 
 if __name__ == "__main__":
     main()

@@ -12,14 +12,15 @@ The top-level package re-exports the public API:
 """
 
 from .core.verifier import verify
-from .core.cegar import CegarResult, Verdict
+from .core.cegar import CegarResult, PortfolioResult, Verdict
 from .lang.programs import PROGRAMS, get_program, get_source, list_programs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "verify",
     "CegarResult",
+    "PortfolioResult",
     "Verdict",
     "PROGRAMS",
     "get_program",

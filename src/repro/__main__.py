@@ -23,11 +23,20 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
-from .core.engine import Budget, VerificationEngine, Verdict, result_to_dict, verify_many
+from .core.engine import (
+    PORTFOLIO_MODES,
+    Budget,
+    PortfolioEngine,
+    PortfolioResult,
+    VerificationEngine,
+    Verdict,
+    result_to_dict,
+    verify_many,
+)
 from .core.predabs import FRONTIER_NAMES
-from .core.verifier import REFINER_NAMES, make_refiner
+from .core.verifier import ENGINE_REFINER_NAMES, make_refiner
 from .lang.programs import PROGRAMS
 
 EXIT_SAFE = 0
@@ -38,8 +47,14 @@ EXIT_ERROR = 3
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--refiner", choices=REFINER_NAMES, default="path-invariant",
-        help="refinement strategy (default: the paper's path-invariant refiner)",
+        "--refiner", choices=ENGINE_REFINER_NAMES, default="path-invariant",
+        help="refinement strategy (default: the paper's path-invariant refiner; "
+        "'portfolio' races all refiners with divergence detection)",
+    )
+    parser.add_argument(
+        "--portfolio-mode", choices=PORTFOLIO_MODES, default="auto",
+        help="with --refiner portfolio: race in worker processes, share budget "
+        "slices in-process round-robin, or pick automatically (default: auto)",
     )
     parser.add_argument(
         "--strategy", choices=FRONTIER_NAMES, default="bfs",
@@ -91,21 +106,37 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     except (FileNotFoundError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
-    engine = VerificationEngine(
-        source,
-        strategy=args.strategy,
-        budget=_budget(args),
-        incremental=not args.restart,
-    )
-    engine.refiner = make_refiner(args.refiner, engine.checker)
-    result = engine.run()
+    if args.refiner == "portfolio":
+        engine: Any = PortfolioEngine(
+            source,
+            strategy=args.strategy,
+            budget=_budget(args),
+            incremental=not args.restart,
+            mode=args.portfolio_mode,
+        )
+        result = engine.run()
+    else:
+        engine = VerificationEngine(
+            source,
+            strategy=args.strategy,
+            budget=_budget(args),
+            incremental=not args.restart,
+        )
+        engine.refiner = make_refiner(args.refiner, engine.checker)
+        result = engine.run()
     if args.json:
         json.dump(result_to_dict(result, name=name), sys.stdout, indent=2)
         print()
     else:
         print(result.summary())
-        if result.is_unsafe and result.counterexample is not None:
-            witness = result.counterexample.witness_inputs(engine.program.variables)
+        if result.is_unsafe:
+            if result.counterexample is not None:
+                witness = result.counterexample.witness_inputs(engine.program.variables)
+            elif isinstance(result, PortfolioResult):
+                # Process mode: the witness crossed the pool as strings.
+                witness = result.winner_witness_inputs()
+            else:
+                witness = {}
             if witness:
                 rendered = ", ".join(f"{k} = {v}" for k, v in sorted(witness.items()))
                 print(f"witness:      {rendered}")
@@ -167,15 +198,34 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return EXIT_SAFE
 
 
+_EPILOG = """\
+examples:
+  repro verify forward                          the paper's FORWARD example
+  repro verify forward --refiner portfolio      race path-invariant against
+                                                path-formula; a diverging
+                                                refiner is demoted and its
+                                                budget handed to the others
+  repro verify forward --refiner portfolio --portfolio-mode round-robin --json
+                                                deterministic in-process
+                                                portfolio with a per-refiner
+                                                JSON breakdown
+  repro batch --suite --jobs 4 -o results.json  the whole built-in corpus
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Path-invariant CEGAR verifier (PLDI 2007 reproduction)",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     verify_parser = subparsers.add_parser(
-        "verify", help="verify one mini-C file or built-in program"
+        "verify", help="verify one mini-C file or built-in program",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     verify_parser.add_argument("target", help="source file path or built-in program name")
     _add_engine_options(verify_parser)

@@ -13,11 +13,25 @@ from typing import Optional, Union
 
 from ..lang.cfg import Program
 from ..smt.vcgen import VcChecker
-from .engine import Budget, CegarResult, IterationRecord, Verdict, VerificationEngine
+from .engine import (
+    Budget,
+    CegarResult,
+    IterationRecord,
+    PortfolioEngine,
+    PortfolioResult,
+    Verdict,
+    VerificationEngine,
+)
 from .predabs import Frontier, Precision
 from .refiners import Refiner
 
-__all__ = ["Verdict", "IterationRecord", "CegarResult", "CegarLoop"]
+__all__ = [
+    "Verdict",
+    "IterationRecord",
+    "CegarResult",
+    "PortfolioResult",
+    "CegarLoop",
+]
 
 
 class CegarLoop:
@@ -25,13 +39,15 @@ class CegarLoop:
 
     A compatibility facade over :class:`VerificationEngine`; the keyword
     arguments mirror the pre-engine constructor, plus the engine's
-    ``strategy`` and ``incremental`` knobs.
+    ``strategy`` and ``incremental`` knobs.  ``refiner`` also accepts a name
+    (``"path-invariant"``, ``"path-formula"``, or ``"portfolio"`` — the
+    latter delegating to :class:`PortfolioEngine`'s in-process round-robin).
     """
 
     def __init__(
         self,
         program: Program,
-        refiner: Optional[Refiner] = None,
+        refiner: Optional[Union[Refiner, str]] = None,
         checker: Optional[VcChecker] = None,
         max_refinements: int = 25,
         max_art_nodes: int = 4000,
@@ -40,17 +56,40 @@ class CegarLoop:
         max_seconds: Optional[float] = None,
         max_solver_calls: Optional[int] = None,
     ) -> None:
+        budget = Budget(
+            max_refinements=max_refinements,
+            max_nodes=max_art_nodes,
+            max_seconds=max_seconds,
+            max_solver_calls=max_solver_calls,
+        )
+        if refiner == "portfolio":
+            if isinstance(strategy, Frontier):
+                raise ValueError(
+                    "the portfolio runs several trees; pass the strategy by name"
+                )
+            self.engine: Union[VerificationEngine, PortfolioEngine] = PortfolioEngine(
+                program,
+                strategy=strategy,
+                budget=budget,
+                incremental=incremental,
+                checker=checker,
+                mode="round-robin",
+            )
+            self.program = self.engine.program
+            self.checker = self.engine.checker
+            self.refiner = None
+            return
+        if isinstance(refiner, str):
+            from .verifier import make_refiner
+
+            checker = checker or VcChecker()
+            refiner = make_refiner(refiner, checker)
         self.engine = VerificationEngine(
             program,
             refiner=refiner,
             checker=checker,
             strategy=strategy,
-            budget=Budget(
-                max_refinements=max_refinements,
-                max_nodes=max_art_nodes,
-                max_seconds=max_seconds,
-                max_solver_calls=max_solver_calls,
-            ),
+            budget=budget,
             incremental=incremental,
         )
         self.program = self.engine.program
@@ -58,4 +97,11 @@ class CegarLoop:
         self.refiner = self.engine.refiner
 
     def run(self, initial_precision: Optional[Precision] = None) -> CegarResult:
+        if isinstance(self.engine, PortfolioEngine):
+            if initial_precision is not None:
+                raise ValueError(
+                    "the portfolio grows one precision per refiner; "
+                    "an initial precision is not supported"
+                )
+            return self.engine.run()
         return self.engine.run(initial_precision)

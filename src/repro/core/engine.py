@@ -49,6 +49,10 @@ __all__ = [
     "IterationRecord",
     "CegarResult",
     "VerificationEngine",
+    "PortfolioEngine",
+    "PortfolioResult",
+    "PORTFOLIO_REFINERS",
+    "PORTFOLIO_MODES",
     "STRATEGY_NAMES",
     "verify_many",
     "result_to_dict",
@@ -103,6 +107,12 @@ class IterationRecord:
     #: (``rechecked`` / ``reused`` / ``strengthened`` / ``invalidated``);
     #: None on the restart baseline and on iterations without a refinement.
     repair: Optional[dict[str, int]] = None
+    #: Pending frontier obligations when the iteration was sealed — the
+    #: divergence monitor's "is the abstract frontier shrinking?" signal.
+    frontier_size: int = 0
+    #: Total predicates tracked across all locations at the end of the
+    #: iteration (cumulative precision size).
+    predicates_total: int = 0
 
 
 @dataclass
@@ -217,28 +227,64 @@ class VerificationEngine:
             self._given_frontier = None
             make_frontier(strategy, self.program)  # fail fast on unknown names
         self.art: Optional[Art] = None
+        self._precision: Optional[Precision] = None
+        self._iterations: list[IterationRecord] = []
+        self._elapsed = 0.0
+        self._last_result: Optional[CegarResult] = None
 
     # ------------------------------------------------------------------
-    def run(self, initial_precision: Optional[Precision] = None) -> CegarResult:
+    @property
+    def refinements_done(self) -> int:
+        """Refinements performed so far (across resumed runs)."""
+        return sum(1 for record in self._iterations if record.refinement is not None)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock time consumed so far (across resumed runs)."""
+        return self._elapsed
+
+    def run(
+        self, initial_precision: Optional[Precision] = None, resume: bool = False
+    ) -> CegarResult:
+        """Drive the CEGAR loop to a verdict (or a tripped budget).
+
+        With ``resume=True`` the engine continues from its previous state —
+        the persistent ART, the grown precision and the iteration history all
+        carry over, and the budget counts *cumulative* consumption (raise a
+        budget field between calls to grant more).  This is how the portfolio
+        layer runs each refiner in time slices.  Without prior state (or with
+        ``resume=False``, the default) a fresh run starts.
+        """
         start = time.perf_counter()
-        precision = initial_precision.copy() if initial_precision else Precision()
-        iterations: list[IterationRecord] = []
-        deadline = (
-            start + self.budget.max_seconds if self.budget.max_seconds is not None else None
-        )
+        if resume and self._last_result is not None and self._last_result.verdict in (
+            Verdict.SAFE,
+            Verdict.UNSAFE,
+        ):
+            return self._last_result  # the verdict is final; nothing to resume
+        if not (resume and self.art is not None):
+            self._precision = (
+                initial_precision.copy() if initial_precision else Precision()
+            )
+            self._iterations = []
+            self._elapsed = 0.0
+            self.art = self._fresh_art()
+        precision = self._precision
+        iterations = self._iterations
+        deadline = None
+        if self.budget.max_seconds is not None:
+            deadline = start + max(self.budget.max_seconds - self._elapsed, 0.0)
         limits = ExploreLimits(
             max_nodes=self.budget.max_nodes,
             deadline=deadline,
             max_solver_calls=self.budget.max_solver_calls,
         )
-        self.art = self._fresh_art()
 
-        for iteration in range(self.budget.max_refinements + 1):
+        while True:
             iteration_start = time.perf_counter()
             posts_before = self.art.post_decisions
             created_before = self.art.nodes_created
             outcome = self.art.explore(precision, limits)
-            record = IterationRecord(iteration, outcome)
+            record = IterationRecord(len(iterations), outcome)
             iterations.append(record)
 
             def seal(
@@ -252,6 +298,8 @@ class VerificationEngine:
                 record.solver_stats = self.checker.statistics()
                 record.post_decisions = art.post_decisions - posts_before
                 record.nodes_created = art.nodes_created - created_before
+                record.frontier_size = len(art.frontier)
+                record.predicates_total = precision.total_predicates()
 
             if outcome.exhausted:
                 seal()
@@ -275,7 +323,12 @@ class VerificationEngine:
                     result.reason = "feasibility decided with an approximate integer check"
                 return result
 
-            if iteration == self.budget.max_refinements:
+            if self.refinements_done >= self.budget.max_refinements:
+                # Returning with an analysed-but-unrefined counterexample:
+                # put its obligation back so a resumed run re-derives and
+                # refines it (leaving the error node would let coverage
+                # drain the frontier around it, which is unsound).
+                self.art.drop_error_node()
                 seal()
                 return self._finish(
                     Verdict.UNKNOWN, precision, iterations, start,
@@ -286,6 +339,7 @@ class VerificationEngine:
             refinement = self.refiner.refine(self.program, path, precision)
             record.refinement = refinement
             if not refinement.progress:
+                self.art.drop_error_node()
                 seal()
                 return self._finish(
                     Verdict.UNKNOWN, precision, iterations, start,
@@ -298,9 +352,6 @@ class VerificationEngine:
             else:
                 self.art = self._fresh_art()
             seal()
-        return self._finish(
-            Verdict.UNKNOWN, precision, iterations, start, reason="iteration budget exhausted"
-        )
 
     # ------------------------------------------------------------------
     def _fresh_art(self) -> Art:
@@ -340,15 +391,554 @@ class VerificationEngine:
                 # instead of the last tree's counters.
                 engine_stats["nodes_created"] = sum(r.nodes_created for r in iterations)
                 engine_stats["post_decisions"] = sum(r.post_decisions for r in iterations)
-        return CegarResult(
+        self._elapsed += time.perf_counter() - start
+        result = CegarResult(
             verdict=verdict,
             program=self.program,
             iterations=iterations,
             precision=precision,
             reason=reason,
-            total_seconds=time.perf_counter() - start,
+            total_seconds=self._elapsed,
             engine_stats=engine_stats,
         )
+        self._last_result = result
+        return result
+
+
+# ----------------------------------------------------------------------
+# The portfolio layer: racing refiners with divergence detection
+# ----------------------------------------------------------------------
+#: The refiners the portfolio runs by default: the paper's path-invariant
+#: refinement first, the classic path-formula baseline as the complement.
+PORTFOLIO_REFINERS = ("path-invariant", "path-formula")
+
+#: Execution modes of :class:`PortfolioEngine`.
+PORTFOLIO_MODES = ("auto", "process", "round-robin")
+
+
+@dataclass
+class PortfolioResult(CegarResult):
+    """A :class:`CegarResult` plus the portfolio's per-refiner breakdown.
+
+    The base fields describe the *winning* arm (in process mode only its
+    summary counters survive the process boundary, so ``iterations`` is empty
+    and ``precision`` is ``None`` there).  ``arms`` holds one report per
+    refiner: verdict, resource consumption, divergence verdict and the
+    scheduling status (``won`` / ``lost`` / ``demoted`` / ``no-progress`` /
+    ``exhausted`` / ``cancelled`` / ``error``).
+    """
+
+    winner: Optional[str] = None
+    mode: str = "round-robin"
+    arms: list[dict[str, Any]] = field(default_factory=list)
+
+    def divergence_verdicts(self) -> dict[str, Any]:
+        """Per-refiner divergence classification (``refiner -> verdict dict``)."""
+        return {arm["refiner"]: arm.get("divergence") for arm in self.arms}
+
+    def winner_witness_inputs(self) -> dict[str, str]:
+        """The winning arm's concrete input witness, if it reported one.
+
+        In process mode the full counterexample stays in the worker, but the
+        winner ships its input valuation back as strings; empty when safe,
+        undecided, or run in-process (use ``counterexample`` there).
+        """
+        for arm in self.arms:
+            if arm["refiner"] == self.winner:
+                return dict(arm.get("witness_inputs", {}))
+        return {}
+
+    def summary(self) -> str:
+        lines = [super().summary(), f"portfolio:    mode={self.mode}, winner={self.winner or '-'}"]
+        for arm in self.arms:
+            divergence = arm.get("divergence") or {}
+            marker = "diverging" if divergence.get("diverging") else arm.get("budget_class", "")
+            lines.append(
+                f"  {arm['refiner']:15s} {arm.get('status', '?'):11s} "
+                f"{arm.get('verdict', '?'):8s} {arm.get('refinements', 0):2d} refinements "
+                f"{arm.get('seconds', 0.0):6.2f}s"
+                + (f"  [{marker}]" if marker else "")
+            )
+        return "\n".join(lines)
+
+
+class _PortfolioArm:
+    """Round-robin bookkeeping for one refiner's engine."""
+
+    def __init__(self, name: str, engine: VerificationEngine, monitor) -> None:
+        self.name = name
+        self.engine = engine
+        self.monitor = monitor
+        self.status = "active"
+        self.result: Optional[CegarResult] = None
+        self._observed = 0
+
+    def feed_monitor(self) -> None:
+        """Digest iteration records produced since the last slice."""
+        records = self.engine._iterations
+        for record in records[self._observed:]:
+            self.monitor.observe(record)
+        self._observed = len(records)
+
+
+class PortfolioEngine:
+    """Races several refiners over the same program and reports honestly.
+
+    The portfolio exploits refiner *complementarity*: path-invariant
+    refinement succeeds exactly where path-formula refinement diverges (and
+    the cheap path-formula refiner wins on programs whose proofs need no loop
+    invariant), so running both under one budget removes the need for the
+    user to pick a ``--refiner`` flag.
+
+    Two execution modes:
+
+    * ``process`` — every refiner races at full speed in its own worker
+      process (the :func:`verify_many` machinery); the first *decided*
+      verdict (safe/unsafe) wins and the stragglers are cancelled after a
+      short grace period.  Requires the program's source text (workers
+      rebuild everything from primitives) and a working process pool.
+    * ``round-robin`` — the in-process fallback: each refiner keeps a
+      resumable :class:`VerificationEngine` (all sharing one memoised
+      checker, so arms reuse each other's abstract-post verdicts) and
+      receives budget slices in turn.  A per-arm
+      :class:`~repro.core.refiners.DivergenceMonitor` watches refinement
+      trajectories; a stalling arm is *demoted* and its remaining budget
+      flows to the surviving arms.
+
+    ``auto`` (the default) tries ``process`` and silently degrades to
+    ``round-robin`` when no source text is available or the platform refuses
+    to spawn a pool.  In round-robin mode the budget is a *total* across
+    arms (``max_refinements``, ``max_seconds`` and ``max_solver_calls`` are
+    shared pools; ``max_nodes`` bounds each arm's own tree); in process mode
+    each racer gets the full budget and wall-clock decides.
+    """
+
+    #: Wall cap applied to each race arm when the budget has none, so that
+    #: abandoned losers terminate on their own.
+    default_race_seconds = 60.0
+    #: How long the race waits for undecided arms after a winner, to collect
+    #: their divergence classifications.
+    race_grace_seconds = 1.0
+
+    def __init__(
+        self,
+        program: Union[str, FunctionDef, Program],
+        refiners: Sequence[Union[str, Refiner]] = PORTFOLIO_REFINERS,
+        strategy: str = "bfs",
+        budget: Optional[Budget] = None,
+        incremental: bool = True,
+        checker: Optional[VcChecker] = None,
+        mode: str = "auto",
+        slice_refinements: int = 2,
+        slice_seconds: Optional[float] = None,
+        monitor_window: int = 3,
+    ) -> None:
+        self.source = program if isinstance(program, str) else None
+        if isinstance(program, str):
+            program = program_from_source(program)
+        elif isinstance(program, FunctionDef):
+            program = build_program(program)
+        self.program = program
+        if not refiners:
+            raise ValueError("a portfolio needs at least one refiner")
+        from .verifier import make_refiner
+
+        for entry in refiners:  # fail fast on unknown refiner names
+            if isinstance(entry, str):
+                make_refiner(entry)
+        self.refiners = tuple(refiners)
+        self.refiner_names = tuple(
+            entry if isinstance(entry, str) else entry.name for entry in refiners
+        )
+        if mode not in PORTFOLIO_MODES:
+            raise ValueError(
+                f"unknown portfolio mode {mode!r}; expected one of {PORTFOLIO_MODES}"
+            )
+        self.mode = mode
+        self.strategy_name = strategy
+        make_frontier(strategy, self.program)  # fail fast on unknown names
+        self.budget = budget or Budget()
+        self.incremental = incremental
+        self.checker = checker or VcChecker()
+        self.slice_refinements = max(1, slice_refinements)
+        #: Optional wall-clock cap per round-robin slice, so one slow arm
+        #: (e.g. path-formula flooding an array program with predicates)
+        #: cannot starve its rivals even without a total ``max_seconds``.
+        self.slice_seconds = slice_seconds
+        self.monitor_window = monitor_window
+
+    # ------------------------------------------------------------------
+    def run(self) -> PortfolioResult:
+        raceable = (
+            self.mode in ("auto", "process")
+            and self.source is not None
+            and len(self.refiners) > 1
+            # Refiner instances do not cross process boundaries, and racing
+            # identifies arms by name.
+            and all(isinstance(entry, str) for entry in self.refiners)
+            and len(set(self.refiner_names)) == len(self.refiner_names)
+        )
+        race_fallback = None
+        if raceable:
+            try:
+                return self._run_race()
+            except (OSError, PermissionError, ImportError, RuntimeError) as error:
+                # Sandboxes without semaphores / broken pools: racing is an
+                # optimisation, the in-process fallback is always safe —
+                # but record why it was taken rather than hiding it.
+                race_fallback = repr(error)
+        result = self._run_round_robin()
+        if race_fallback is not None and result.engine_stats is not None:
+            result.engine_stats["race_fallback"] = race_fallback
+        return result
+
+    # ------------------------------------------------------------------
+    # In-process round-robin with divergence-driven demotion
+    # ------------------------------------------------------------------
+    def _run_round_robin(self) -> PortfolioResult:
+        from .refiners import DivergenceMonitor
+        from .verifier import make_refiner
+
+        start = time.perf_counter()
+        deadline = (
+            start + self.budget.max_seconds if self.budget.max_seconds is not None else None
+        )
+        arms = []
+        for name, entry in zip(self.refiner_names, self.refiners):
+            engine = VerificationEngine(
+                self.program,
+                refiner=entry if isinstance(entry, Refiner) else make_refiner(entry, self.checker),
+                checker=self.checker,
+                strategy=self.strategy_name,
+                budget=Budget(
+                    max_refinements=0,  # granted slice by slice below
+                    max_nodes=self.budget.max_nodes,
+                    max_seconds=None,
+                    # The checker is shared, so this is a portfolio-total pool.
+                    max_solver_calls=self.budget.max_solver_calls,
+                ),
+                incremental=self.incremental,
+            )
+            arms.append(_PortfolioArm(name, engine, DivergenceMonitor(self.monitor_window)))
+
+        winner: Optional[_PortfolioArm] = None
+        while winner is None:
+            active = [arm for arm in arms if arm.status == "active"]
+            if not active:
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                break
+            progressed = False
+            for arm in active:
+                if arm.status != "active":
+                    continue
+                rivals = any(a is not arm and a.status == "active" for a in arms)
+                remaining = max(
+                    self.budget.max_refinements
+                    - sum(a.engine.refinements_done for a in arms),
+                    0,
+                )
+                slice_r = remaining if not rivals else min(self.slice_refinements, remaining)
+                arm.engine.budget.max_refinements = (
+                    arm.engine.refinements_done + slice_r
+                )
+                slice_wall: Optional[float] = None
+                if deadline is not None:
+                    remaining_wall = max(deadline - time.perf_counter(), 0.0)
+                    slice_wall = (
+                        remaining_wall if not rivals else remaining_wall / len(active)
+                    )
+                if self.slice_seconds is not None and rivals:
+                    slice_wall = (
+                        self.slice_seconds
+                        if slice_wall is None
+                        else min(slice_wall, self.slice_seconds)
+                    )
+                if slice_wall is not None:
+                    arm.engine.budget.max_seconds = (
+                        arm.engine.elapsed_seconds + slice_wall
+                    )
+                before = arm.engine.refinements_done
+                work_before = self.checker.num_triple_checks
+                arm.result = arm.engine.run(resume=True)
+                arm.feed_monitor()
+                # Progress is either a refinement or genuine new solver work
+                # (a wall-sliced arm mid-exploration).  Cache-hit-only sweeps
+                # (re-deriving the same counterexample against drained
+                # budgets) count as no progress, which terminates the loop.
+                if (
+                    arm.engine.refinements_done > before
+                    or self.checker.num_triple_checks > work_before
+                ):
+                    progressed = True
+                if arm.result.verdict in (Verdict.SAFE, Verdict.UNSAFE):
+                    arm.status = "won"
+                    winner = arm
+                    break
+                if "no progress" in arm.result.reason:
+                    arm.status = "no-progress"
+                    progressed = True
+                    continue
+                # A tripped budget: demote a diverging arm (its remaining
+                # budget flows to the rivals via the shared pools), retire an
+                # arm whose non-replenishable budget (nodes, solver) is gone.
+                if arm.monitor.verdict().diverging and rivals:
+                    arm.status = "demoted"
+                    progressed = True
+                elif "node budget" in arm.result.reason or "solver budget" in arm.result.reason:
+                    arm.status = "exhausted"
+                    progressed = True
+            if winner is None and not progressed:
+                break
+
+        total_seconds = time.perf_counter() - start
+        for arm in arms:
+            if arm.status != "active":
+                continue
+            # The loop ended with this arm intact: it never got a slice, a
+            # rival won first, or the shared pools drained.
+            if arm.result is None:
+                arm.status = "idle"
+            elif winner is not None:
+                arm.status = "lost"
+            else:
+                arm.status = "exhausted"
+        reports = [self._arm_report(arm) for arm in arms]
+        if winner is not None:
+            base = winner.result
+            result = PortfolioResult(
+                verdict=base.verdict,
+                program=self.program,
+                iterations=base.iterations,
+                precision=base.precision,
+                counterexample=base.counterexample,
+                reason=base.reason,
+                total_seconds=total_seconds,
+                engine_stats=dict(base.engine_stats or {}),
+                winner=winner.name,
+                mode="round-robin",
+                arms=reports,
+            )
+        else:
+            result = PortfolioResult(
+                verdict=Verdict.UNKNOWN,
+                program=self.program,
+                total_seconds=total_seconds,
+                reason="portfolio exhausted: " + "; ".join(
+                    f"{report['refiner']}: {report.get('reason') or report['status']}"
+                    f" [{report['budget_class']}]"
+                    for report in reports
+                ),
+                engine_stats={"strategy": self.strategy_name, "incremental": self.incremental},
+                winner=None,
+                mode="round-robin",
+                arms=reports,
+            )
+        result.engine_stats["portfolio_mode"] = "round-robin"
+        result.engine_stats["winner"] = result.winner
+        return result
+
+    def _arm_report(self, arm: _PortfolioArm) -> dict[str, Any]:
+        engine = arm.engine
+        divergence = arm.monitor.verdict()
+        decided = arm.result is not None and arm.result.verdict in (
+            Verdict.SAFE,
+            Verdict.UNSAFE,
+        )
+        report = {
+            "refiner": arm.name,
+            "status": arm.status,
+            "verdict": arm.result.verdict if arm.result is not None else Verdict.UNKNOWN,
+            "reason": arm.result.reason if arm.result is not None else "never scheduled",
+            "seconds": round(engine.elapsed_seconds, 6),
+            "iterations": len(engine._iterations),
+            "refinements": engine.refinements_done,
+            "predicates": (
+                engine._precision.total_predicates() if engine._precision else 0
+            ),
+            "post_decisions": (
+                arm.result.post_decisions() if arm.result is not None else 0
+            ),
+            "divergence": divergence.to_dict(),
+            "budget_class": "decided" if decided else arm.monitor.classify_budget_trip(),
+        }
+        return report
+
+    # ------------------------------------------------------------------
+    # Process-pool racing
+    # ------------------------------------------------------------------
+    def _run_race(self) -> PortfolioResult:
+        # multiprocessing.Pool rather than ProcessPoolExecutor: its public
+        # terminate() actually kills running workers, so a diverging loser
+        # cannot keep the parent (or interpreter exit) hostage after the
+        # race is decided.
+        import multiprocessing
+
+        start = time.perf_counter()
+        budget = vars(self.budget).copy()
+        if budget["max_seconds"] is None:
+            budget["max_seconds"] = self.default_race_seconds
+        payloads = [
+            {
+                "name": self.program.name,
+                "source": self.source,
+                "refiner": name,
+                "strategy": self.strategy_name,
+                "budget": budget,
+                "incremental": self.incremental,
+                "window": self.monitor_window,
+            }
+            for name in self.refiner_names
+        ]
+        arm_docs: dict[str, dict[str, Any]] = {}
+        winner_doc: Optional[dict[str, Any]] = None
+        # Workers self-terminate on their wall budget; the extra slack only
+        # guards against a wedged worker before the terminate() below.
+        hard_deadline = start + budget["max_seconds"] + 10.0
+        pool = multiprocessing.get_context().Pool(processes=len(payloads))
+        try:
+            pending = {
+                payload["refiner"]: pool.apply_async(_run_portfolio_arm, (payload,))
+                for payload in payloads
+            }
+
+            def drain() -> None:
+                nonlocal winner_doc
+                for name, handle in list(pending.items()):
+                    if not handle.ready():
+                        continue
+                    del pending[name]
+                    doc = handle.get()
+                    arm_docs[name] = doc
+                    if winner_doc is None and doc["verdict"] in (
+                        Verdict.SAFE,
+                        Verdict.UNSAFE,
+                    ):
+                        doc["status"] = "won"
+                        winner_doc = doc
+
+            while pending and winner_doc is None and time.perf_counter() < hard_deadline:
+                drain()
+                if pending and winner_doc is None:
+                    time.sleep(0.02)
+            # Give the losers a moment to report their divergence stats.
+            grace_end = time.perf_counter() + self.race_grace_seconds
+            while pending and time.perf_counter() < grace_end:
+                drain()
+                if pending:
+                    time.sleep(0.02)
+            for name in pending:
+                arm_docs[name] = {
+                    "refiner": name,
+                    "verdict": Verdict.UNKNOWN,
+                    "reason": "cancelled after the portfolio decided",
+                    "status": "cancelled",
+                }
+        finally:
+            pool.terminate()
+            pool.join()
+
+        total_seconds = time.perf_counter() - start
+        reports = []
+        for name in self.refiner_names:
+            doc = arm_docs.get(
+                name,
+                {"refiner": name, "verdict": Verdict.UNKNOWN,
+                 "reason": "never scheduled", "status": "cancelled"},
+            )
+            doc.setdefault("status", "lost")
+            reports.append(
+                {
+                    "refiner": name,
+                    "status": doc["status"],
+                    "verdict": doc.get("verdict", Verdict.UNKNOWN),
+                    "reason": doc.get("reason", ""),
+                    "seconds": doc.get("seconds", 0.0),
+                    "iterations": doc.get("iterations", 0),
+                    "refinements": doc.get("refinements", 0),
+                    "predicates": doc.get("predicates", 0),
+                    "post_decisions": doc.get("post_decisions", 0),
+                    "divergence": doc.get("divergence"),
+                    "budget_class": doc.get("budget_class", "cancelled"),
+                    **({"witness": doc["witness"]} if "witness" in doc else {}),
+                    **(
+                        {"witness_inputs": doc["witness_inputs"]}
+                        if "witness_inputs" in doc
+                        else {}
+                    ),
+                }
+            )
+        if winner_doc is not None:
+            verdict = winner_doc["verdict"]
+            reason = winner_doc.get("reason", "")
+        else:
+            verdict = Verdict.UNKNOWN
+            reason = "portfolio exhausted: " + "; ".join(
+                f"{r['refiner']}: {r.get('reason') or r['status']} [{r['budget_class']}]"
+                for r in reports
+            )
+        decided = {r["refiner"]: r["verdict"] for r in reports
+                   if r["verdict"] in (Verdict.SAFE, Verdict.UNSAFE)}
+        if len(set(decided.values())) > 1:  # pragma: no cover - soundness bug guard
+            reason = f"portfolio arms disagree ({decided}); kept the first verdict. {reason}"
+        return PortfolioResult(
+            verdict=verdict,
+            program=self.program,
+            reason=reason,
+            total_seconds=total_seconds,
+            engine_stats={
+                "strategy": self.strategy_name,
+                "incremental": self.incremental,
+                "portfolio_mode": "process",
+                "winner": winner_doc["refiner"] if winner_doc else None,
+            },
+            winner=winner_doc["refiner"] if winner_doc else None,
+            mode="process",
+            arms=reports,
+        )
+
+
+def _run_portfolio_arm(payload: dict[str, Any]) -> dict[str, Any]:
+    """Race worker: run one refiner at full speed and classify its trajectory.
+
+    Module-level so it pickles; returns a JSON-serialisable document (the
+    full :class:`CegarResult` stays in this process).
+    """
+    from .refiners import DivergenceMonitor
+    from .verifier import make_refiner
+
+    try:
+        engine = VerificationEngine(
+            payload["source"],
+            strategy=payload["strategy"],
+            budget=Budget(**payload["budget"]),
+            incremental=payload["incremental"],
+        )
+        engine.refiner = make_refiner(payload["refiner"], engine.checker)
+        result = engine.run()
+        doc = result_to_dict(result, name=payload["name"])
+        doc["refiner"] = payload["refiner"]
+        if result.counterexample is not None:
+            inputs = result.counterexample.witness_inputs(engine.program.variables)
+            if inputs:
+                doc["witness_inputs"] = {
+                    str(var): str(value) for var, value in sorted(inputs.items())
+                }
+        divergence = DivergenceMonitor.analyze(result.iterations, payload["window"])
+        doc["divergence"] = divergence.to_dict()
+        if result.verdict in (Verdict.SAFE, Verdict.UNSAFE):
+            doc["budget_class"] = "decided"
+        else:
+            doc["budget_class"] = "diverging" if divergence.diverging else "under-resourced"
+        return doc
+    except Exception as error:  # pragma: no cover - defensive per-arm isolation
+        return {
+            "refiner": payload["refiner"],
+            "name": payload["name"],
+            "verdict": "error",
+            "reason": repr(error),
+            "status": "error",
+        }
 
 
 # ----------------------------------------------------------------------
@@ -389,6 +979,17 @@ def result_to_dict(result: CegarResult, name: Optional[str] = None) -> dict[str,
         }
     if result.iterations and result.iterations[-1].solver_stats:
         payload["solver"] = result.iterations[-1].solver_stats
+    if isinstance(result, PortfolioResult):
+        payload["portfolio"] = {
+            "mode": result.mode,
+            "winner": result.winner,
+            "arms": result.arms,
+        }
+        if "witness" not in payload:
+            # In process mode the winner's witness only exists in its arm doc.
+            for arm in result.arms:
+                if arm["refiner"] == result.winner and "witness" in arm:
+                    payload["witness"] = arm["witness"]
     return payload
 
 
@@ -399,6 +1000,17 @@ def _run_batch_task(payload: dict[str, Any]) -> dict[str, Any]:
     Program/VcChecker instances do not cross process boundaries.
     """
     try:
+        if payload["refiner"] == "portfolio":
+            # Already inside a worker: run the in-process round-robin rather
+            # than nesting a second process pool.
+            portfolio = PortfolioEngine(
+                payload["source"],
+                strategy=payload["strategy"],
+                budget=Budget(**payload["budget"]),
+                incremental=payload["incremental"],
+                mode="round-robin",
+            )
+            return result_to_dict(portfolio.run(), name=payload["name"])
         engine = VerificationEngine(
             payload["source"],
             strategy=payload["strategy"],

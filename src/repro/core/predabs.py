@@ -577,12 +577,7 @@ class Art:
         # The refuted counterexample's error node always goes: its abstract
         # path was infeasible, and the repaired ancestors re-derive (or
         # refute) the edge when its obligation comes back up.
-        if self._error_node is not None and not self._error_node.removed:
-            error = self._error_node
-            self._detach_leaf(error)
-            if error.parent is not None and not error.parent.removed:
-                self.frontier.push(error.parent, error.incoming)
-        self._error_node = None
+        self.drop_error_node()
 
         candidates = [
             node
@@ -624,6 +619,26 @@ class Art:
             "invalidated": self.nodes_invalidated - invalidated_before,
             "retained": self.num_live_nodes(),
         }
+
+    def drop_error_node(self) -> None:
+        """Remove the current error node and re-enqueue its incoming edge.
+
+        Called by refinement repair, and by the engine when it returns
+        *without* refining an infeasible counterexample (refinement budget
+        tripped, refiner made no progress).  Leaving the error node in the
+        tree would be unsound under resumption: its concrete-infeasibility
+        verdict holds for its own path only, yet coverage would let deeper
+        paths fold onto its ancestors and drain the frontier into a SAFE
+        verdict nobody checked.  Re-enqueueing the edge makes a resumed
+        round re-derive the counterexample and actually refine (or refute)
+        it.
+        """
+        if self._error_node is not None and not self._error_node.removed:
+            error = self._error_node
+            self._detach_leaf(error)
+            if error.parent is not None and not error.parent.removed:
+                self.frontier.push(error.parent, error.incoming)
+        self._error_node = None
 
     def _strengthen_wave(
         self,
@@ -755,6 +770,22 @@ class Art:
 
     def num_live_nodes(self) -> int:
         return sum(1 for _ in self.live_nodes())
+
+    def progress_signature(self) -> dict[str, int]:
+        """The cheap per-round signals the divergence monitor consumes.
+
+        A refiner that makes progress shrinks the abstract error frontier
+        over time: coverage kicks in, live nodes stabilise and pending
+        obligations drain.  A diverging refiner (one loop unrolling per
+        refinement) instead grows ``frontier`` and ``nodes_live`` round after
+        round while ``nodes_reused`` stalls relative to ``nodes_created``.
+        """
+        return {
+            "frontier": len(self.frontier),
+            "nodes_live": self.num_live_nodes(),
+            "nodes_created": self.nodes_created,
+            "nodes_reused": self.nodes_reused,
+        }
 
     def statistics(self) -> dict[str, int]:
         return {

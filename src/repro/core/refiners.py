@@ -37,6 +37,8 @@ __all__ = [
     "Refiner",
     "PathFormulaRefiner",
     "PathInvariantRefiner",
+    "DivergenceVerdict",
+    "DivergenceMonitor",
 ]
 
 
@@ -49,6 +51,9 @@ class RefinementOutcome:
     description: str = ""
     path_program: Optional[PathProgram] = None
     synthesis: Optional[SynthesisResult] = None
+    #: Locations that actually gained a predicate (the pivots of the repair);
+    #: the divergence monitor watches whether these keep repeating.
+    pivot_locations: frozenset[Location] = frozenset()
 
 
 class Refiner:
@@ -105,13 +110,17 @@ class PathFormulaRefiner(Refiner):
         }
         locations.discard(program.error)
         added = 0
+        pivots: set[Location] = set()
         for location in locations:
             for predicate in predicates:
-                added += precision.add(location, predicate)
+                if precision.add(location, predicate):
+                    added += 1
+                    pivots.add(location)
         return RefinementOutcome(
             progress=added > 0,
             new_predicates=added,
             description=f"{added} predicates from the path formula",
+            pivot_locations=frozenset(pivots),
         )
 
 
@@ -189,17 +198,154 @@ class PathInvariantRefiner(Refiner):
             )
 
         added = 0
+        pivots: set[Location] = set()
         invariant_map = synthesis.invariant_map
         for pp_location, original in path_program.origin.items():
             if original in (program.error,):
                 continue
             formula = invariant_map.get(pp_location)
             for predicate in conjuncts(formula):
-                added += precision.add(original, predicate)
+                if precision.add(original, predicate):
+                    added += 1
+                    pivots.add(original)
         return RefinementOutcome(
             progress=added > 0,
             new_predicates=added,
             description=f"{added} predicates from the path invariant",
             path_program=path_program,
             synthesis=synthesis,
+            pivot_locations=frozenset(pivots),
         )
+
+
+# ----------------------------------------------------------------------
+# Divergence detection
+# ----------------------------------------------------------------------
+@dataclass
+class DivergenceVerdict:
+    """The monitor's classification of a refinement loop's trajectory."""
+
+    diverging: bool
+    reason: str = ""
+    #: The raw signals behind the verdict (``stale_pivots``, ``unrolling``,
+    #: ``frontier_growth``, ``refinements_observed``, ...), for reporting.
+    signals: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "diverging": self.diverging,
+            "reason": self.reason,
+            "signals": dict(self.signals),
+        }
+
+
+class DivergenceMonitor:
+    """Per-refiner progress monitor for the portfolio engine.
+
+    The classic path-formula refiner *diverges* on programs whose proofs need
+    genuine loop invariants: every refinement refutes only the current loop
+    unrolling, so counterexamples keep getting longer, the same pivot
+    locations gain ever more constant predicates, and the abstract frontier
+    never shrinks.  The monitor watches exactly those three signatures over a
+    sliding window of ``window`` refinements:
+
+    * **stale pivots** — no refinement in the window added a predicate at a
+      location that had not been refined before (new pivots mean the refiner
+      is still opening new proof territory, e.g. a second loop);
+    * **unrolling** — the counterexample length reached a new record inside
+      the window and grew within it (the one-more-iteration signature);
+    * **no frontier shrinkage** — predicates grew every round while the
+      tree's pending-obligation frontier did not shrink across the window.
+
+    Divergence is reported only when all three hold, so a refiner that proves
+    its program within ``window`` refinements can never be demoted, and one
+    that keeps discovering new pivot locations (multi-loop proofs) is left
+    alone.  Demotion is a *scheduling* decision, never a soundness one: a
+    demoted refiner's remaining budget is handed to the other portfolio arms.
+
+    ``observe`` digests the engine's per-iteration records (duck-typed:
+    ``refinement`` with ``progress``/``pivot_locations``,
+    ``counterexample_length``, ``predicates_total``, ``frontier_size``);
+    ``verdict`` classifies the trajectory so far, and
+    :meth:`classify_budget_trip` labels an exhausted budget as ``diverging``
+    versus ``under-resourced``.
+    """
+
+    def __init__(self, window: int = 3) -> None:
+        if window < 2:
+            raise ValueError(f"divergence window must be at least 2, got {window}")
+        self.window = window
+        self.cex_lengths: list[int] = []
+        self.predicate_totals: list[int] = []
+        self.frontier_sizes: list[int] = []
+        self.new_pivot_flags: list[bool] = []
+        self._seen_pivots: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def refinements_observed(self) -> int:
+        return len(self.cex_lengths)
+
+    def observe(self, record) -> None:
+        """Digest one engine iteration record that ended in a refinement."""
+        refinement = getattr(record, "refinement", None)
+        if refinement is None or not refinement.progress:
+            return
+        self.cex_lengths.append(record.counterexample_length)
+        self.predicate_totals.append(record.predicates_total)
+        self.frontier_sizes.append(record.frontier_size)
+        pivots = set(getattr(refinement, "pivot_locations", ()) or ())
+        self.new_pivot_flags.append(bool(pivots - self._seen_pivots))
+        self._seen_pivots |= pivots
+
+    def verdict(self) -> DivergenceVerdict:
+        """Classify the trajectory observed so far."""
+        observed = self.refinements_observed
+        window = self.window
+        if observed < window:
+            return DivergenceVerdict(
+                False,
+                f"only {observed} refinements observed (window is {window})",
+                signals={"refinements_observed": observed},
+            )
+        stale_pivots = not any(self.new_pivot_flags[-window:])
+        recent = self.cex_lengths[-window:]
+        unrolling = (
+            max(recent) > max(self.cex_lengths[:-window], default=0)
+            and max(recent) > min(recent)
+        )
+        # Predicate totals need no signal of their own: every observed
+        # refinement made progress, so they grow strictly by construction.
+        frontier_growth = self.frontier_sizes[-1] >= self.frontier_sizes[-window]
+        signals = {
+            "refinements_observed": observed,
+            "stale_pivots": stale_pivots,
+            "unrolling": unrolling,
+            "frontier_growth": frontier_growth,
+            "recent_counterexample_lengths": list(recent),
+            "predicates_total": self.predicate_totals[-1],
+        }
+        diverging = stale_pivots and unrolling and frontier_growth
+        if diverging:
+            reason = (
+                f"no new pivot location in {window} refinements while "
+                f"counterexamples grew to length {max(recent)} and the frontier "
+                "did not shrink (loop-unrolling signature)"
+            )
+        else:
+            holding = [name for name in ("stale_pivots", "unrolling", "frontier_growth")
+                       if not signals[name]]
+            reason = f"progressing ({', '.join(holding) or 'window'} signal absent)"
+        return DivergenceVerdict(diverging, reason, signals)
+
+    def classify_budget_trip(self) -> str:
+        """Label an exhausted budget: was the refiner stalling or starved?"""
+        return "diverging" if self.verdict().diverging else "under-resourced"
+
+    @classmethod
+    def analyze(cls, iterations, window: int = 3) -> DivergenceVerdict:
+        """One-shot classification of a finished run's iteration records."""
+        monitor = cls(window)
+        for record in iterations:
+            monitor.observe(record)
+        return monitor.verdict()

@@ -13,12 +13,16 @@ from typing import Optional, Union
 from ..lang.ast import FunctionDef
 from ..lang.cfg import Program, build_program, program_from_source
 from ..smt.vcgen import VcChecker
-from .engine import Budget, CegarResult, VerificationEngine
+from .engine import Budget, CegarResult, PortfolioEngine, VerificationEngine
 from .refiners import PathFormulaRefiner, PathInvariantRefiner, Refiner
 
-__all__ = ["verify", "make_refiner", "REFINER_NAMES"]
+__all__ = ["verify", "make_refiner", "REFINER_NAMES", "ENGINE_REFINER_NAMES"]
 
 REFINER_NAMES = ("path-invariant", "path-formula")
+
+#: What ``verify()`` and the CLI accept: the concrete refiners plus the
+#: portfolio meta-strategy (which is engine-level, not a :class:`Refiner`).
+ENGINE_REFINER_NAMES = REFINER_NAMES + ("portfolio",)
 
 
 def make_refiner(name: str, checker: Optional[VcChecker] = None) -> Refiner:
@@ -27,6 +31,11 @@ def make_refiner(name: str, checker: Optional[VcChecker] = None) -> Refiner:
         return PathInvariantRefiner(checker)
     if name == "path-formula":
         return PathFormulaRefiner()
+    if name == "portfolio":
+        raise ValueError(
+            "'portfolio' is an engine-level strategy, not a refiner; use "
+            "verify(..., refiner='portfolio') or PortfolioEngine directly"
+        )
     raise ValueError(f"unknown refiner {name!r}; expected one of {REFINER_NAMES}")
 
 
@@ -39,6 +48,7 @@ def verify(
     strategy: str = "bfs",
     max_seconds: Optional[float] = None,
     incremental: bool = True,
+    portfolio_mode: str = "auto",
 ) -> CegarResult:
     """Verify the assertions of a program.
 
@@ -53,8 +63,10 @@ def verify(
         :class:`Program` transition system.
     refiner:
         ``"path-invariant"`` (the paper's refinement through path programs,
-        the default), ``"path-formula"`` (the classic CEGAR baseline), or a
-        custom :class:`Refiner` instance.
+        the default), ``"path-formula"`` (the classic CEGAR baseline),
+        ``"portfolio"`` (race both with divergence detection; returns a
+        :class:`~repro.core.engine.PortfolioResult`), or a custom
+        :class:`Refiner` instance.
     max_refinements:
         Budget on CEGAR iterations; the baseline refiner needs this on
         programs whose proofs require loop invariants.
@@ -67,7 +79,26 @@ def verify(
         Keep one persistent ART across refinements (default).  ``False``
         rebuilds the tree from scratch after every refinement — the
         restart-the-world baseline the benchmarks compare against.
+    portfolio_mode:
+        Only with ``refiner="portfolio"``: ``"auto"`` (race in worker
+        processes when possible, else round-robin), ``"process"``, or
+        ``"round-robin"``.
     """
+    budget = Budget(
+        max_refinements=max_refinements,
+        max_nodes=max_art_nodes,
+        max_seconds=max_seconds,
+    )
+    if refiner == "portfolio":
+        portfolio = PortfolioEngine(
+            program,
+            strategy=strategy,
+            budget=budget,
+            incremental=incremental,
+            checker=checker,
+            mode=portfolio_mode,
+        )
+        return portfolio.run()
     if isinstance(program, str):
         program = program_from_source(program)
     elif isinstance(program, FunctionDef):
@@ -80,11 +111,7 @@ def verify(
         refiner=refiner_obj,
         checker=checker,
         strategy=strategy,
-        budget=Budget(
-            max_refinements=max_refinements,
-            max_nodes=max_art_nodes,
-            max_seconds=max_seconds,
-        ),
+        budget=budget,
         incremental=incremental,
     )
     return engine.run()

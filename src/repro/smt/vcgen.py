@@ -102,6 +102,25 @@ class VcChecker:
         stats.update(self.solver.cache_info())
         return stats
 
+    def snapshot(self) -> dict[str, int]:
+        """A frozen copy of :meth:`statistics`, for later delta computation.
+
+        The portfolio layer snapshots the (shared) checker's counters before
+        giving a refiner its budget slice and attributes the difference to
+        that slice with :meth:`delta_since` — the counters themselves are
+        cumulative and shared by every engine using this checker.
+        """
+        return dict(self.statistics())
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Per-counter growth since a :meth:`snapshot` was taken.
+
+        Counters absent from the snapshot (none today, but the solver's
+        cache-info keys may grow) are reported at their full current value.
+        """
+        current = self.statistics()
+        return {key: value - snapshot.get(key, 0) for key, value in current.items()}
+
     # ------------------------------------------------------------------
     # Hoare triples / inductiveness conditions
     # ------------------------------------------------------------------

@@ -56,6 +56,37 @@ class TestVerifyCommand:
         assert run_cli(["verify", "no_such_program"]) == 3
         assert "neither a built-in" in capsys.readouterr().err
 
+    def test_portfolio_refiner(self, capsys):
+        """--refiner portfolio proves FORWARD, on which path-formula alone
+        diverges, and reports the per-refiner breakdown."""
+        assert run_cli([
+            "verify", "forward", "--refiner", "portfolio",
+            "--portfolio-mode", "round-robin",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:      safe" in out
+        assert "winner=path-invariant" in out
+
+    def test_portfolio_json_breakdown(self, capsys):
+        assert run_cli([
+            "verify", "double_counter", "--refiner", "portfolio",
+            "--portfolio-mode", "round-robin", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "safe"
+        portfolio = payload["portfolio"]
+        assert portfolio["mode"] == "round-robin"
+        assert portfolio["winner"] == "path-invariant"
+        assert {arm["refiner"] for arm in portfolio["arms"]} == {
+            "path-invariant", "path-formula",
+        }
+
+    def test_help_epilog_mentions_portfolio(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(["verify", "--help"])
+        assert excinfo.value.code == 0
+        assert "--refiner portfolio" in capsys.readouterr().out
+
 
 class TestBatchCommand:
     def test_batch_json_document(self, tmp_path, capsys):
