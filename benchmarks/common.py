@@ -13,6 +13,19 @@ from repro.core import AbstractReachability, Precision, build_path_program
 from repro.lang import get_program
 from repro.smt.vcgen import VcChecker
 
+#: The fast-deciding verdict suite shared by the session benchmarks
+#: (bench_e10) and run_all.py's session section — one definition so the CI
+#: assertion and the BENCH_pr*.json trajectory always measure the same
+#: corpus.  Covers safe, unsafe and array workloads under both refiners'
+#: default engine.
+SESSION_SUITE = [
+    "forward", "initcheck", "double_counter", "up_down", "lock_step",
+    "simple_safe", "diamond_safe", "simple_unsafe", "array_init_buggy",
+]
+
+#: Refinement budget the session benchmarks run the suite under.
+SESSION_MAX_REFINEMENTS = 8
+
 
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark."""

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr3.json``.
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr4.json``.
 
-Three data sections feed the perf trajectory:
+Four data sections feed the perf trajectory (``benchmarks/trend_diff.py``
+diffs the engine section of consecutive snapshots in CI):
 
 * ``pytest``    — every ``bench_e*.py`` benchmark run through pytest-benchmark
   (wall time per benchmark plus the experiment facts each test records in
@@ -13,10 +14,13 @@ Three data sections feed the perf trajectory:
   the single-refiner baselines and the round-robin portfolio's verdict,
   winner, per-arm statuses and total cost (the bench_e9 complementarity
   story in raw numbers).
+* ``session``   — warm-started vs cold suite batches through the session
+  API: total and per-program abstract-post reductions bought by precision
+  transfer (the bench_e10 story in raw numbers).
 
 Usage::
 
-    python benchmarks/run_all.py                  # full run, writes BENCH_pr3.json
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr4.json
     python benchmarks/run_all.py --skip-pytest    # direct sections only (fast)
     python benchmarks/run_all.py -o out.json
 """
@@ -35,8 +39,9 @@ BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core import PortfolioEngine, verify  # noqa: E402  (path set up above)
-from repro.lang import get_program, get_source  # noqa: E402
+from repro import Session, VerifierOptions  # noqa: E402  (path set up above)
+from repro.core import PortfolioEngine  # noqa: E402
+from repro.lang import get_source  # noqa: E402
 
 #: Programs of the engine section, with per-program refinement budgets (the
 #: divergent ones are capped where rounds get solver-expensive).
@@ -94,15 +99,21 @@ def run_pytest_section() -> list[dict]:
 
 
 def run_engine_section() -> list[dict]:
-    """Direct incremental-vs-restart runs with reuse and solver counters."""
+    """Direct incremental-vs-restart runs with reuse and solver counters.
+
+    Every run uses a fresh cold session: the two modes must not share memo
+    caches or warm-start seeds, or the comparison (and the per-run solver
+    counters) would be polluted.
+    """
     records = []
     for name, max_refinements in ENGINE_PROGRAMS:
         row: dict = {"program": name, "max_refinements": max_refinements}
         for mode, label in ((True, "incremental"), (False, "restart")):
-            started = time.perf_counter()
-            result = verify(
-                get_program(name), max_refinements=max_refinements, incremental=mode
+            options = VerifierOptions(
+                max_refinements=max_refinements, incremental=mode, warm_start=False
             )
+            started = time.perf_counter()
+            result = Session(options).run(name)
             solver = result.iterations[-1].solver_stats or {}
             row[label] = {
                 "verdict": result.verdict,
@@ -141,8 +152,8 @@ def run_portfolio_section() -> list[dict]:
     """Single-refiner baselines vs the round-robin portfolio.
 
     Both sides run under the same refinement budget, so the recorded
-    seconds/post-decision comparison is the ISSUE's "same total budget"
-    claim in raw numbers.
+    seconds/post-decision comparison is the "same total budget" claim in
+    raw numbers.
     """
     from repro.core import Budget
 
@@ -151,10 +162,11 @@ def run_portfolio_section() -> list[dict]:
     for name in PORTFOLIO_PROGRAMS:
         row: dict = {"program": name, "max_refinements": max_refinements}
         for refiner in ("path-invariant", "path-formula"):
-            started = time.perf_counter()
-            result = verify(
-                get_program(name), refiner=refiner, max_refinements=max_refinements
+            options = VerifierOptions(
+                refiner=refiner, max_refinements=max_refinements, warm_start=False
             )
+            started = time.perf_counter()
+            result = Session(options).run(name)
             row[refiner] = {
                 "verdict": result.verdict,
                 "seconds": round(time.perf_counter() - started, 4),
@@ -190,11 +202,46 @@ def run_portfolio_section() -> list[dict]:
     return records
 
 
+def run_session_section() -> dict:
+    """Warm-started vs cold two-epoch suite batches through one session."""
+    from common import SESSION_MAX_REFINEMENTS, SESSION_SUITE
+
+    options = VerifierOptions(max_refinements=SESSION_MAX_REFINEMENTS)
+    tasks = SESSION_SUITE * 2
+    results = {}
+    for warm, label in ((True, "warm"), (False, "cold")):
+        session = Session(options.replace(warm_start=warm))
+        started = time.perf_counter()
+        docs = session.run_many(tasks, jobs=1)
+        results[label] = {
+            "seconds": round(time.perf_counter() - started, 4),
+            "post_decisions": sum(doc["post_decisions"] for doc in docs),
+            "verdicts": [doc["verdict"] for doc in docs],
+            "warm_starts": session.warm_starts,
+            "predicates_banked": session.predicates_banked,
+        }
+    warm_posts = results["warm"]["post_decisions"]
+    cold_posts = results["cold"]["post_decisions"]
+    section = {
+        "programs": SESSION_SUITE,
+        "epochs": 2,
+        **results,
+        "post_decision_reduction": round(1 - warm_posts / cold_posts, 4),
+        "verdicts_agree": results["warm"]["verdicts"] == results["cold"]["verdicts"],
+    }
+    print(
+        f"  warm={warm_posts} cold={cold_posts} posts "
+        f"(reduction={section['post_decision_reduction']:.2%}, "
+        f"{results['warm']['warm_starts']} warm starts)"
+    )
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr3.json"),
-        help="where to write the JSON report (default: repo root BENCH_pr3.json)",
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr4.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr4.json)",
     )
     parser.add_argument(
         "--skip-pytest", action="store_true",
@@ -208,6 +255,8 @@ def main(argv=None) -> int:
     report["sections"]["engine"] = run_engine_section()
     print("portfolio section (refiner complementarity):")
     report["sections"]["portfolio"] = run_portfolio_section()
+    print("session section (warm-start precision transfer):")
+    report["sections"]["session"] = run_session_section()
     if not args.skip_pytest:
         print("pytest section (bench_e*.py):")
         report["sections"]["pytest"] = run_pytest_section()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Diff the two newest ``BENCH_*.json`` snapshots and fail on perf drift.
+
+Each PR's benchmark run (``benchmarks/run_all.py``) leaves a ``BENCH_prN.json``
+snapshot in the repository root.  This script compares the *engine* sections
+of the two newest snapshots program by program and exits non-zero when any
+shared program's abstract-post-decision count regressed by more than the
+threshold (default 25%) in either engine mode — the automated bench-trend
+check the ROADMAP asks for.
+
+Post decisions are the deliberate metric: they are deterministic (no
+wall-clock noise on shared CI runners) and they are the work the incremental
+engine exists to avoid.
+
+Usage::
+
+    python benchmarks/trend_diff.py                # repo-root BENCH_pr*.json
+    python benchmarks/trend_diff.py --threshold 0.10
+    python benchmarks/trend_diff.py --dir some/dir
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Engine modes whose post-decision counts are trend-checked.
+MODES = ("incremental", "restart")
+
+
+def bench_files(directory: Path) -> list[Path]:
+    """``BENCH_*.json`` files, oldest first.
+
+    Ordered by the numeric PR suffix (``BENCH_pr3.json`` < ``BENCH_pr10.json``
+    — plain lexicographic order would get this wrong); files without a
+    numeric suffix sort first by modification time.
+    """
+    entries = []
+    for path in directory.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_pr(\d+)\.json", path.name)
+        order = int(match.group(1)) if match else -1
+        entries.append((order, path.stat().st_mtime, path.name, path))
+    entries.sort()
+    return [entry[3] for entry in entries]
+
+
+def engine_rows(path: Path) -> dict[str, dict]:
+    """The engine section of one snapshot, keyed by program name."""
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path}: not valid JSON ({error})")
+    rows = doc.get("sections", {}).get("engine", [])
+    return {row["program"]: row for row in rows if "program" in row}
+
+
+def diff(old: Path, new: Path, threshold: float) -> list[str]:
+    """Human-readable regression lines (empty when the trend is clean)."""
+    old_rows, new_rows = engine_rows(old), engine_rows(new)
+    shared = sorted(set(old_rows) & set(new_rows))
+    if not shared:
+        print(f"note: {old.name} and {new.name} share no engine programs")
+        return []
+    regressions = []
+    print(f"{'program':20s} {'mode':12s} {old.name:>16s} {new.name:>16s}  change")
+    for program in shared:
+        for mode in MODES:
+            before = old_rows[program].get(mode, {}).get("post_decisions")
+            after = new_rows[program].get(mode, {}).get("post_decisions")
+            if not before or after is None:
+                continue
+            change = after / before - 1
+            marker = ""
+            if change > threshold:
+                marker = "  REGRESSION"
+                regressions.append(
+                    f"{program} [{mode}]: {before} -> {after} posts "
+                    f"({change:+.1%} > {threshold:.0%} threshold)"
+                )
+            print(
+                f"{program:20s} {mode:12s} {before:16d} {after:16d}  "
+                f"{change:+7.1%}{marker}"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir", default=str(REPO_ROOT), metavar="DIR",
+        help="directory holding the BENCH_*.json snapshots (default: repo root)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="maximum tolerated post-decision growth per program (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    files = bench_files(Path(args.dir))
+    if len(files) < 2:
+        print(
+            f"trend-diff: found {len(files)} BENCH_*.json snapshot(s) in "
+            f"{args.dir}; need two to diff — nothing to check"
+        )
+        return 0
+    old, new = files[-2], files[-1]
+    regressions = diff(old, new, args.threshold)
+    if regressions:
+        print(f"\n{len(regressions)} post-decision regression(s):", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\ntrend clean: {old.name} -> {new.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,8 @@
 Run with:  python examples/quickstart.py
 """
 
-from repro import verify
-from repro.core import Budget, VerificationEngine, verify_many
+from repro import Session, VerifierOptions, verify
+from repro.core import Budget, VerificationEngine
 
 SOURCE = """
 void double_counter(int n) {
@@ -24,7 +24,7 @@ void double_counter(int n) {
 
 def main() -> None:
     print("One-call API: verify() with path-invariant refinement ...")
-    result = verify(SOURCE, refiner="path-invariant", max_refinements=5)
+    result = verify(SOURCE, options=VerifierOptions(max_refinements=5))
     print(result.summary())
     print()
     print("Predicates discovered per location:")
@@ -55,11 +55,10 @@ def main() -> None:
     )
 
     print()
-    print("Batch mode: a corpus on a process pool, JSON results ...")
-    batch = verify_many(
-        ["forward", "lock_step", "simple_unsafe", ("inline", SOURCE)],
-        budget=Budget(max_refinements=5),
-        jobs=2,
+    print("Sessions: one shared checker + precision store, warm-started batches ...")
+    session = Session(VerifierOptions(max_refinements=5))
+    batch = session.run_many(
+        ["forward", "lock_step", "simple_unsafe", ("inline", SOURCE)], jobs=2
     )
     for row in batch:
         print(
@@ -67,19 +66,29 @@ def main() -> None:
             f"{row['seconds']:6.2f}s  {row['refinements']} refinements, "
             f"{row['post_decisions']} post decisions"
         )
+    cold = next(row for row in batch if row["name"] == "forward")
+    warm = session.run("forward")  # seeded from the batch's banked precision
+    print(
+        f"  warm rerun of forward: {warm.post_decisions()} post decisions "
+        f"(cold run paid {cold['post_decisions']}), "
+        f"{warm.num_refinements} refinements needed"
+    )
     print()
     print("Same corpus from the shell:  python -m repro batch forward lock_step --jobs 2")
 
     print()
     print("For comparison, the classic path-formula refinement on the same program:")
-    baseline = verify(SOURCE, refiner="path-formula", max_refinements=3)
+    baseline = verify(SOURCE, options=VerifierOptions(refiner="path-formula", max_refinements=3))
     print(baseline.summary())
     lengths = [r.counterexample_length for r in baseline.iterations if r.counterexample_length]
     print(f"counterexample lengths per iteration: {lengths} (the loop is being unrolled)")
 
     print()
     print("The portfolio picks the refiner for you (and demotes a diverging one):")
-    portfolio = verify(SOURCE, refiner="portfolio", portfolio_mode="round-robin")
+    portfolio = verify(
+        SOURCE,
+        options=VerifierOptions(refiner="portfolio", portfolio_mode="round-robin"),
+    )
     print(portfolio.summary())
     print(
         f"  -> winner: {portfolio.winner}; per-arm divergence verdicts: "

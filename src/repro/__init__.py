@@ -2,8 +2,13 @@
 
 The top-level package re-exports the public API:
 
-* :func:`repro.verify` — verify the assertions of a mini-C program with CEGAR,
-  using path programs and path invariants for abstraction refinement;
+* :class:`repro.Session` / :class:`repro.VerifierOptions` /
+  :class:`repro.VerificationTask` — the typed task/session API: validated
+  options, reusable verification sessions with shared solver caches, and
+  warm-start precision transfer across tasks and process pools;
+* :func:`repro.verify` — the one-call entry point (a thin wrapper over a
+  session): verify the assertions of a mini-C program with CEGAR, using
+  path programs and path invariants for abstraction refinement;
 * :mod:`repro.lang` — the mini-C front end and the built-in benchmark suite;
 * :mod:`repro.core` — path programs, predicate abstraction, CEGAR;
 * :mod:`repro.invgen` — constraint-based invariant synthesis (templates,
@@ -12,15 +17,31 @@ The top-level package re-exports the public API:
 """
 
 from .core.verifier import verify
-from .core.cegar import CegarResult, PortfolioResult, Verdict
+from .core.cegar import CegarResult, PortfolioResult, Result, Verdict
+from .core.api import (
+    PrecisionStore,
+    Session,
+    VerificationTask,
+    VerifierOptions,
+    program_fingerprint,
+)
+from .core.engine import RESULT_SCHEMA_VERSION, Budget
 from .lang.programs import PROGRAMS, get_program, get_source, list_programs
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "verify",
+    "Session",
+    "VerifierOptions",
+    "VerificationTask",
+    "PrecisionStore",
+    "program_fingerprint",
+    "Budget",
+    "Result",
     "CegarResult",
     "PortfolioResult",
+    "RESULT_SCHEMA_VERSION",
     "Verdict",
     "PROGRAMS",
     "get_program",

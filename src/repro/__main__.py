@@ -1,20 +1,29 @@
 """Command-line interface: ``python -m repro`` / the ``repro`` console script.
 
-Three subcommands drive the verification engine:
+Three subcommands drive the verification session API:
 
 ``repro verify FILE|NAME``
     Verify one program — a mini-C source file or the name of a built-in
-    benchmark — and print a human-readable summary (or ``--json``).
+    benchmark — and print a human-readable summary (or ``--json``, the
+    versioned result schema).
     Exit code: 0 safe, 1 unsafe, 2 unknown, 3 usage/input error.
 
 ``repro batch FILE|NAME ... [--suite]``
-    Verify a corpus concurrently on a process pool with per-task budgets and
-    print one machine-readable JSON document for the whole batch.
+    Verify a corpus through **one reusable session**.  With ``--jobs 1``
+    tasks run sequentially and repeated programs warm-start from precisions
+    discovered earlier in the batch; on a process pool, seeds are fixed at
+    submission time (concurrent repeats run cold), but every worker still
+    ships its discovered precision back into the session's store.  Prints
+    one machine-readable JSON document for the whole batch.
     Exit code: 0 when every task verified (safe or unsafe — a *verdict* is a
     success), 2 when any task came back unknown or errored.
 
 ``repro list``
     List the built-in benchmark programs.
+
+Every tuning knob can come from an options file (``--options opts.toml`` or
+``.json``, the :meth:`~repro.core.api.VerifierOptions.to_dict` key set);
+explicit command-line flags override file values.
 """
 
 from __future__ import annotations
@@ -25,18 +34,15 @@ import sys
 from pathlib import Path
 from typing import Any, Optional
 
+from .core.api import Session, VerifierOptions
 from .core.engine import (
     PORTFOLIO_MODES,
-    Budget,
-    PortfolioEngine,
+    RESULT_SCHEMA_VERSION,
     PortfolioResult,
-    VerificationEngine,
     Verdict,
-    result_to_dict,
-    verify_many,
 )
 from .core.predabs import FRONTIER_NAMES
-from .core.verifier import ENGINE_REFINER_NAMES, make_refiner
+from .core.verifier import ENGINE_REFINER_NAMES
 from .lang.programs import PROGRAMS
 
 EXIT_SAFE = 0
@@ -47,25 +53,30 @@ EXIT_ERROR = 3
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--refiner", choices=ENGINE_REFINER_NAMES, default="path-invariant",
+        "--options", metavar="FILE", default=None,
+        help="load a VerifierOptions table from a .toml or .json file "
+        "(explicit flags below override file values)",
+    )
+    parser.add_argument(
+        "--refiner", choices=ENGINE_REFINER_NAMES, default=None,
         help="refinement strategy (default: the paper's path-invariant refiner; "
         "'portfolio' races all refiners with divergence detection)",
     )
     parser.add_argument(
-        "--portfolio-mode", choices=PORTFOLIO_MODES, default="auto",
+        "--portfolio-mode", choices=PORTFOLIO_MODES, default=None,
         help="with --refiner portfolio: race in worker processes, share budget "
         "slices in-process round-robin, or pick automatically (default: auto)",
     )
     parser.add_argument(
-        "--strategy", choices=FRONTIER_NAMES, default="bfs",
+        "--strategy", choices=FRONTIER_NAMES, default=None,
         help="ART exploration order (default: bfs)",
     )
     parser.add_argument(
-        "--max-refinements", type=int, default=25, metavar="N",
+        "--max-refinements", type=int, default=None, metavar="N",
         help="CEGAR iteration budget (default: 25)",
     )
     parser.add_argument(
-        "--max-nodes", type=int, default=4000, metavar="N",
+        "--max-nodes", type=int, default=None, metavar="N",
         help="cumulative ART node budget (default: 4000)",
     )
     parser.add_argument(
@@ -73,10 +84,50 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="wall-clock budget per task (default: none)",
     )
     parser.add_argument(
+        "--max-predicates-per-location", type=int, default=None, metavar="N",
+        help="cap the predicates tracked per location (bounds the "
+        "path-formula refiner's array-predicate flood; default: unbounded)",
+    )
+    parser.add_argument(
         "--restart", action="store_true",
         help="rebuild the ART from scratch after every refinement "
         "(the baseline the incremental engine is benchmarked against)",
     )
+    parser.add_argument(
+        "--no-warm-start", action="store_true",
+        help="do not seed repeated programs from previously discovered "
+        "precisions (batch mode runs every task cold)",
+    )
+
+
+#: CLI flag attribute -> VerifierOptions field, for value-bearing flags.
+_FLAG_FIELDS = {
+    "refiner": "refiner",
+    "portfolio_mode": "portfolio_mode",
+    "strategy": "strategy",
+    "max_refinements": "max_refinements",
+    "max_nodes": "max_nodes",
+    "max_seconds": "max_seconds",
+    "max_predicates_per_location": "max_predicates_per_location",
+}
+
+
+def _resolve_options(args: argparse.Namespace) -> VerifierOptions:
+    """Options file (if any) -> defaults, then explicit flags override."""
+    if args.options:
+        options = VerifierOptions.from_file(args.options)
+    else:
+        options = VerifierOptions()
+    overrides: dict[str, Any] = {
+        field: getattr(args, flag)
+        for flag, field in _FLAG_FIELDS.items()
+        if getattr(args, flag) is not None
+    }
+    if args.restart:
+        overrides["incremental"] = False
+    if args.no_warm_start:
+        overrides["warm_start"] = False
+    return options.replace(**overrides) if overrides else options
 
 
 def _load_source(target: str) -> tuple[str, str]:
@@ -92,46 +143,30 @@ def _load_source(target: str) -> tuple[str, str]:
     )
 
 
-def _budget(args: argparse.Namespace) -> Budget:
-    return Budget(
-        max_refinements=args.max_refinements,
-        max_nodes=args.max_nodes,
-        max_seconds=args.max_seconds,
-    )
-
-
 def _cmd_verify(args: argparse.Namespace) -> int:
     try:
         name, source = _load_source(args.target)
-    except (FileNotFoundError, OSError) as error:
+        options = _resolve_options(args)
+        session = Session(options)
+        task = session.task(source, name=name)
+        # Parse eagerly inside the handler: a malformed file (ParseError is
+        # a ValueError) and a wrong-typed --options value (TypeError) are
+        # usage errors — exit 3, never code 1 ("verified unsafe").  The run
+        # itself stays outside, so a genuine engine crash keeps its
+        # traceback instead of masquerading as bad input.
+        task.resolved()
+    except (FileNotFoundError, OSError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
-    if args.refiner == "portfolio":
-        engine: Any = PortfolioEngine(
-            source,
-            strategy=args.strategy,
-            budget=_budget(args),
-            incremental=not args.restart,
-            mode=args.portfolio_mode,
-        )
-        result = engine.run()
-    else:
-        engine = VerificationEngine(
-            source,
-            strategy=args.strategy,
-            budget=_budget(args),
-            incremental=not args.restart,
-        )
-        engine.refiner = make_refiner(args.refiner, engine.checker)
-        result = engine.run()
+    result = session.run(task)
     if args.json:
-        json.dump(result_to_dict(result, name=name), sys.stdout, indent=2)
+        json.dump(result.to_json(name=name), sys.stdout, indent=2)
         print()
     else:
         print(result.summary())
         if result.is_unsafe:
             if result.counterexample is not None:
-                witness = result.counterexample.witness_inputs(engine.program.variables)
+                witness = result.counterexample.witness_inputs(result.program.variables)
             elif isinstance(result, PortfolioResult):
                 # Process mode: the witness crossed the pool as strings.
                 witness = result.winner_witness_inputs()
@@ -157,26 +192,29 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("error: no targets (pass files/names or --suite)", file=sys.stderr)
         return EXIT_ERROR
     tasks = []
-    for target in targets:
-        try:
+    try:
+        options = _resolve_options(args)
+        for target in targets:
             name, source = _load_source(target)
-        except (FileNotFoundError, OSError) as error:
-            print(f"error: {error}", file=sys.stderr)
-            return EXIT_ERROR
-        tasks.append({"name": name, "source": source})
-    results = verify_many(
-        tasks,
-        refiner=args.refiner,
-        strategy=args.strategy,
-        budget=_budget(args),
-        incremental=not args.restart,
-        jobs=args.jobs,
-    )
+            tasks.append({"name": name, "source": source})
+    except (FileNotFoundError, OSError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    # One session for the whole batch: shared checker memo, and repeated
+    # targets warm-start from the precisions earlier tasks discovered.
+    session = Session(options)
+    results = session.run_many(tasks, jobs=args.jobs)
     payload = {
+        "schema_version": RESULT_SCHEMA_VERSION,
         "tasks": len(results),
         "verdicts": {
             verdict: sum(1 for r in results if r["verdict"] == verdict)
             for verdict in sorted({r["verdict"] for r in results})
+        },
+        "session": {
+            key: value
+            for key, value in session.statistics().items()
+            if key != "checker"
         },
         "results": results,
     }
@@ -205,11 +243,21 @@ examples:
                                                 path-formula; a diverging
                                                 refiner is demoted and its
                                                 budget handed to the others
+  repro verify forward --options opts.toml      load every knob from a TOML
+                                                (or JSON) options file;
+                                                explicit flags still win
   repro verify forward --refiner portfolio --portfolio-mode round-robin --json
                                                 deterministic in-process
                                                 portfolio with a per-refiner
                                                 JSON breakdown
   repro batch --suite --jobs 4 -o results.json  the whole built-in corpus
+                                                through one warm-starting
+                                                session
+
+options file (TOML):
+  refiner = "portfolio"
+  max_refinements = 12
+  strategy = "bfs"
 """
 
 
@@ -237,7 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.set_defaults(func=_cmd_verify)
 
     batch_parser = subparsers.add_parser(
-        "batch", help="verify a corpus concurrently (JSON results)"
+        "batch", help="verify a corpus through one session (JSON results)"
     )
     batch_parser.add_argument("targets", nargs="*", help="source files and/or built-in names")
     batch_parser.add_argument("--suite", action="store_true", help="include every built-in program")

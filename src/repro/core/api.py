@@ -1,0 +1,731 @@
+"""The typed task/session API — the stable public surface of the verifier.
+
+Three first-class objects replace the historical kwarg funnel:
+
+* :class:`VerifierOptions` — every knob of a verification run as one frozen,
+  validated dataclass, with ``to_dict``/``from_dict`` round-tripping and
+  TOML/JSON file loading (``repro verify --options opts.toml``).
+* :class:`VerificationTask` — *what* to verify: program source/AST/transition
+  system, a task name, per-task option overrides, and an optional seed
+  :class:`~repro.core.predabs.Precision`.
+* :class:`Session` — *how* to run many tasks: owns the shared hash-consed
+  :class:`~repro.smt.vcgen.VcChecker` (abstract-post verdicts are
+  precision-independent, so tasks reuse each other's solver work), a
+  :class:`PrecisionStore` keyed by program fingerprint, and a scheduler that
+  runs tasks sequentially or on a process pool — **warm-starting** each task
+  from precisions discovered earlier.  Predicates are picklable (they
+  re-intern on load), so warm-start seeds travel *into* pool workers and
+  discovered precisions travel *back*, including the portfolio
+  process-race winner's.
+
+Results come back as the unified :class:`~repro.core.engine.Result`
+hierarchy, whose :meth:`~repro.core.engine.Result.to_json` document
+(versioned by :data:`~repro.core.engine.RESULT_SCHEMA_VERSION`) is shared by
+the CLI, :func:`~repro.core.engine.verify_many` and the benchmark harness.
+
+The historical entry points (:func:`repro.verify`,
+:class:`~repro.core.cegar.CegarLoop`, ``verify_many``) are thin
+compatibility wrappers over this module.
+
+Quickstart::
+
+    from repro import Session, VerifierOptions
+
+    session = Session(VerifierOptions(refiner="path-invariant"))
+    first = session.run("forward")            # cold: discovers the invariant
+    again = session.run("forward")            # warm: strictly less work
+    assert first.is_safe and again.is_safe
+    assert again.post_decisions() < first.post_decisions()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+from ..lang.ast import FunctionDef
+from ..lang.cfg import Program, build_program, program_from_source
+from ..logic.formulas import Formula
+from ..smt.vcgen import VcChecker
+from .engine import (
+    PORTFOLIO_MODES,
+    PORTFOLIO_REFINERS,
+    RESULT_SCHEMA_VERSION,
+    Budget,
+    PortfolioEngine,
+    Result,
+    Verdict,
+    VerificationEngine,
+    _run_batch_task,
+    error_doc,
+)
+from .predabs import FRONTIER_NAMES, Precision
+from .refiners import Refiner
+
+__all__ = [
+    "VerifierOptions",
+    "VerificationTask",
+    "PrecisionStore",
+    "Session",
+    "program_fingerprint",
+    "RESULT_SCHEMA_VERSION",
+]
+
+
+def program_fingerprint(program: Program) -> str:
+    """A stable identity of a transition system, portable across processes.
+
+    Two parses of the same source yield the same fingerprint (the CFG
+    builder is deterministic and the rendering below covers every semantic
+    component), which is what lets a :class:`PrecisionStore` recognise a
+    program it has seen before — in another task, another session epoch, or
+    another process.
+    """
+    digest = hashlib.sha256()
+    digest.update(program.name.encode())
+    digest.update(b"|v:" + ",".join(program.variables).encode())
+    digest.update(b"|a:" + ",".join(program.arrays).encode())
+    digest.update(b"|i:" + program.initial.name.encode())
+    digest.update(b"|e:" + program.error.name.encode())
+    for transition in program.transitions:
+        digest.update(b"|t:" + str(transition).encode())
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Options
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VerifierOptions:
+    """Every knob of a verification run, validated at construction.
+
+    Instances are frozen (safe to share across tasks and sessions) and
+    round-trip losslessly through :meth:`to_dict`/:meth:`from_dict`; the CLI
+    loads them from TOML or JSON files via :meth:`from_file`.
+    """
+
+    #: Refinement strategy: ``path-invariant`` (the paper), ``path-formula``
+    #: (the BLAST-style baseline) or ``portfolio`` (race both).
+    refiner: str = "path-invariant"
+    #: ART exploration order: ``bfs``, ``dfs`` or ``error-distance``.
+    strategy: str = "bfs"
+    #: CEGAR iteration budget.
+    max_refinements: int = 25
+    #: Cumulative ART node budget (``None`` = unbounded).
+    max_nodes: Optional[int] = 4000
+    #: Wall-clock budget in seconds (``None`` = unbounded).
+    max_seconds: Optional[float] = None
+    #: Checker triple-check budget (``None`` = unbounded).
+    max_solver_calls: Optional[int] = None
+    #: Keep one persistent ART across refinements (``False`` = the
+    #: restart-the-world baseline).
+    incremental: bool = True
+    #: With ``refiner="portfolio"``: ``auto``, ``process`` or ``round-robin``.
+    portfolio_mode: str = "auto"
+    #: The refiners a portfolio races.
+    portfolio_refiners: tuple[str, ...] = PORTFOLIO_REFINERS
+    #: Refinements granted per round-robin slice.
+    slice_refinements: int = 2
+    #: Optional wall-clock cap per round-robin slice.
+    slice_seconds: Optional[float] = None
+    #: Sliding window of the divergence monitor (>= 2).
+    monitor_window: int = 3
+    #: Cap on predicates tracked per location (``None`` = unbounded); bounds
+    #: the path-formula refiner's array-predicate flood.
+    max_predicates_per_location: Optional[int] = None
+    #: Let a :class:`Session` seed tasks from previously discovered
+    #: precisions.  Seeding never changes a decided verdict (predicates only
+    #: refine the abstraction); it removes refinement rounds already paid
+    #: for.
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        from .verifier import ENGINE_REFINER_NAMES, REFINER_NAMES
+
+        if not isinstance(self.portfolio_refiners, tuple):
+            object.__setattr__(
+                self, "portfolio_refiners", tuple(self.portfolio_refiners)
+            )
+        if self.refiner not in ENGINE_REFINER_NAMES:
+            raise ValueError(
+                f"unknown refiner {self.refiner!r}; expected one of {ENGINE_REFINER_NAMES}"
+            )
+        if self.strategy not in FRONTIER_NAMES:
+            raise ValueError(
+                f"unknown exploration strategy {self.strategy!r}; "
+                f"expected one of {FRONTIER_NAMES}"
+            )
+        if self.portfolio_mode not in PORTFOLIO_MODES:
+            raise ValueError(
+                f"unknown portfolio mode {self.portfolio_mode!r}; "
+                f"expected one of {PORTFOLIO_MODES}"
+            )
+        if not self.portfolio_refiners:
+            raise ValueError("portfolio_refiners must name at least one refiner")
+        for name in self.portfolio_refiners:
+            if name not in REFINER_NAMES:
+                raise ValueError(
+                    f"unknown portfolio refiner {name!r}; expected one of {REFINER_NAMES}"
+                )
+        if self.max_refinements < 0:
+            raise ValueError(f"max_refinements must be >= 0, got {self.max_refinements}")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError(f"max_nodes must be >= 1 or None, got {self.max_nodes}")
+        if self.max_seconds is not None and self.max_seconds < 0:
+            raise ValueError(f"max_seconds must be >= 0 or None, got {self.max_seconds}")
+        if self.max_solver_calls is not None and self.max_solver_calls < 1:
+            raise ValueError(
+                f"max_solver_calls must be >= 1 or None, got {self.max_solver_calls}"
+            )
+        if self.slice_refinements < 1:
+            raise ValueError(
+                f"slice_refinements must be >= 1, got {self.slice_refinements}"
+            )
+        if self.slice_seconds is not None and self.slice_seconds <= 0:
+            raise ValueError(
+                f"slice_seconds must be > 0 or None, got {self.slice_seconds}"
+            )
+        if self.monitor_window < 2:
+            raise ValueError(f"monitor_window must be >= 2, got {self.monitor_window}")
+        if (
+            self.max_predicates_per_location is not None
+            and self.max_predicates_per_location < 1
+        ):
+            raise ValueError(
+                "max_predicates_per_location must be >= 1 or None, "
+                f"got {self.max_predicates_per_location}"
+            )
+
+    # ------------------------------------------------------------------
+    def budget(self) -> Budget:
+        """The engine-level :class:`Budget` these options describe."""
+        return Budget(
+            max_refinements=self.max_refinements,
+            max_nodes=self.max_nodes,
+            max_seconds=self.max_seconds,
+            max_solver_calls=self.max_solver_calls,
+        )
+
+    def replace(self, **changes: Any) -> "VerifierOptions":
+        """A copy with ``changes`` applied (validated like a fresh instance)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON/TOML-safe dict; ``from_dict`` inverts it exactly."""
+        payload = dataclasses.asdict(self)
+        payload["portfolio_refiners"] = list(self.portfolio_refiners)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VerifierOptions":
+        """Build options from a mapping; unknown keys are an error."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown option keys {unknown}; expected a subset of {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "VerifierOptions":
+        """Load options from a ``.toml`` or ``.json`` file.
+
+        TOML has no null, so optional knobs (``max_seconds``,
+        ``max_predicates_per_location``, ...) are simply omitted there.
+        """
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            try:
+                import tomllib
+            except ImportError as error:  # pragma: no cover - Python 3.10
+                raise ValueError(
+                    f"{path}: TOML options files need Python 3.11+ "
+                    "(tomllib); use a .json file instead"
+                ) from error
+
+            data = tomllib.loads(text)
+        else:
+            data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: expected a table/object of options")
+        return cls.from_dict(data)
+
+
+def resolve_legacy_options(
+    entry: str,
+    options: Optional[VerifierOptions],
+    legacy: Mapping[str, Any],
+    build: Callable[[], VerifierOptions],
+) -> VerifierOptions:
+    """The shared deprecation shim behind ``verify``/``verify_many``.
+
+    ``options=`` and the superseded tuning kwargs are mutually exclusive;
+    passing any of the latter emits one ``DeprecationWarning`` naming the
+    entry point, then ``build()`` translates them into options.
+    """
+    if options is not None:
+        if legacy:
+            raise ValueError(
+                "pass either options= or the legacy keyword arguments, not both "
+                f"(got options and {sorted(legacy)})"
+            )
+        return options
+    if legacy:
+        warnings.warn(
+            f"{entry}({', '.join(sorted(legacy))}=...) keyword tuning is "
+            "deprecated; pass options=VerifierOptions(...) or use repro.Session",
+            DeprecationWarning,
+            stacklevel=3,  # resolve_legacy_options -> shim -> caller
+        )
+    return build()
+
+
+# ----------------------------------------------------------------------
+# Tasks
+# ----------------------------------------------------------------------
+@dataclass
+class VerificationTask:
+    """One unit of verification work: a program plus how to verify it.
+
+    ``program`` may be mini-C source text, a parsed
+    :class:`~repro.lang.ast.FunctionDef`, or a built
+    :class:`~repro.lang.cfg.Program`.  ``options`` overrides the session's
+    defaults for this task only.  ``initial_precision`` seeds the abstraction
+    explicitly (a session otherwise seeds from its own store when
+    ``warm_start`` is on).  ``refiner`` optionally pins a concrete
+    :class:`~repro.core.refiners.Refiner` *instance* — an in-process escape
+    hatch that never crosses a pool (named refiners in ``options`` do).
+    """
+
+    program: Union[str, FunctionDef, Program]
+    name: Optional[str] = None
+    options: Optional[VerifierOptions] = None
+    initial_precision: Optional[Precision] = None
+    refiner: Optional[Refiner] = None
+    _resolved: Optional[Program] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _fingerprint: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def source(self) -> Optional[str]:
+        """The raw source text, when the task was built from one."""
+        return self.program if isinstance(self.program, str) else None
+
+    def resolved(self) -> Program:
+        """The transition system (parsed/built once, then cached)."""
+        if self._resolved is None:
+            program = self.program
+            if isinstance(program, str):
+                program = program_from_source(program)
+            elif isinstance(program, FunctionDef):
+                program = build_program(program)
+            self._resolved = program
+            if self.name is None:
+                self.name = program.name
+        return self._resolved
+
+    @property
+    def fingerprint(self) -> str:
+        """The resolved program's :func:`program_fingerprint` (cached)."""
+        if self._fingerprint is None:
+            self._fingerprint = program_fingerprint(self.resolved())
+        return self._fingerprint
+
+
+# ----------------------------------------------------------------------
+# The precision store
+# ----------------------------------------------------------------------
+class PrecisionStore:
+    """Discovered predicates, keyed by program fingerprint.
+
+    Internally location-*name* indexed (names are stable across parses and
+    processes, unlike :class:`~repro.lang.cfg.Location` identities), merging
+    monotonically: re-verifying a program only ever adds predicates.  The
+    store is in-memory and in-process; payloads themselves are picklable, so
+    a session can ship them into pool workers and merge what comes back.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[str, dict[str, set[Formula]]] = {}
+
+    # ------------------------------------------------------------------
+    def merge(
+        self, fingerprint: str, by_name: Mapping[str, Iterable[Formula]]
+    ) -> int:
+        """Merge a location-name payload; returns how many predicates are new."""
+        entry = self._store.setdefault(fingerprint, {})
+        added = 0
+        for location, predicates in by_name.items():
+            bucket = entry.setdefault(location, set())
+            for predicate in predicates:
+                if predicate not in bucket:
+                    bucket.add(predicate)
+                    added += 1
+        return added
+
+    def update(self, fingerprint: str, precision: Precision) -> int:
+        """Merge a run's discovered :class:`Precision` into the store."""
+        return self.merge(fingerprint, precision.by_location_name())
+
+    def payload(self, fingerprint: str) -> Optional[dict[str, tuple[Formula, ...]]]:
+        """The stored predicates as a picklable location-name payload."""
+        entry = self._store.get(fingerprint)
+        if not entry:
+            return None
+        return {
+            location: tuple(sorted(predicates, key=str))
+            for location, predicates in entry.items()
+            if predicates
+        }
+
+    def seed_for(
+        self,
+        fingerprint: str,
+        program: Program,
+        max_per_location: Optional[int] = None,
+    ) -> Optional[Precision]:
+        """A :class:`Precision` bound to ``program``'s locations, or ``None``."""
+        payload = self.payload(fingerprint)
+        if payload is None:
+            return None
+        return Precision.from_location_names(program, payload, max_per_location)
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> list[str]:
+        return sorted(self._store)
+
+    def total_predicates(self, fingerprint: str) -> int:
+        return sum(len(p) for p in self._store.get(fingerprint, {}).values())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return bool(self._store.get(fingerprint))
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+# ----------------------------------------------------------------------
+# Sessions
+# ----------------------------------------------------------------------
+class Session:
+    """A reusable verification context: shared checker, precisions, scheduler.
+
+    One session amortises everything that outlives a single task:
+
+    * the hash-consed :class:`~repro.smt.vcgen.VcChecker` (memoised Hoare
+      triples and abstract-post verdicts, shared by every in-process task);
+    * the :class:`PrecisionStore` — each decided task's discovered predicates
+      are banked under the program's fingerprint, and later tasks on the
+      same program **warm-start** from them (strictly fewer abstract-post
+      decisions on reruns; a seed can never flip a decided verdict);
+    * the scheduler — :meth:`run` executes one task in-process,
+      :meth:`run_many` a corpus, sequentially or on a process pool.  Pool
+      workers receive warm-start seeds and ship their discovered precisions
+      back (predicates pickle and re-intern), so the bank grows even when
+      the work happened in another process — including the portfolio
+      process-race winner's predicates.
+    """
+
+    def __init__(
+        self,
+        options: Optional[VerifierOptions] = None,
+        checker: Optional[VcChecker] = None,
+        store: Optional[PrecisionStore] = None,
+    ) -> None:
+        self.options = options or VerifierOptions()
+        self.checker = checker or VcChecker()
+        self.store = store or PrecisionStore()
+        #: Scheduler counters: tasks run, warm starts granted, precisions
+        #: banked (see :meth:`statistics`).
+        self.tasks_run = 0
+        self.warm_starts = 0
+        self.predicates_banked = 0
+
+    # ------------------------------------------------------------------
+    def task(
+        self,
+        program: Union[str, FunctionDef, Program, VerificationTask],
+        name: Optional[str] = None,
+        options: Optional[VerifierOptions] = None,
+        initial_precision: Optional[Precision] = None,
+        refiner: Optional[Refiner] = None,
+    ) -> VerificationTask:
+        """Normalise anything task-like into a :class:`VerificationTask`.
+
+        A plain string is looked up among the built-in benchmark programs
+        first (``session.run("forward")``), then treated as source text.
+        """
+        if isinstance(program, VerificationTask):
+            return program
+        if isinstance(program, str):
+            from ..lang.programs import PROGRAMS
+
+            if program in PROGRAMS:
+                name = name or program
+                program = PROGRAMS[program].source
+        return VerificationTask(
+            program,
+            name=name,
+            options=options,
+            initial_precision=initial_precision,
+            refiner=refiner,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        task: Union[str, FunctionDef, Program, VerificationTask],
+        **task_kwargs: Any,
+    ) -> Result:
+        """Run one task in-process and bank its discovered precision."""
+        task = self.task(task, **task_kwargs)
+        opts = task.options or self.options
+        program = task.resolved()
+        fingerprint = task.fingerprint
+        seed = task.initial_precision
+        warm = False
+        if seed is None and opts.warm_start:
+            seed = self.store.seed_for(
+                fingerprint, program, opts.max_predicates_per_location
+            )
+            warm = seed is not None
+        result = self._execute(task, program, opts, seed)
+        self.tasks_run += 1
+        if warm:
+            self.warm_starts += 1
+        self._bank_decided(
+            fingerprint,
+            result.verdict,
+            result.precision.by_location_name() if result.precision else None,
+        )
+        if result.engine_stats is not None:
+            result.engine_stats["session"] = self._provenance(
+                fingerprint, warm, seed.total_predicates() if seed else 0
+            )
+        return result
+
+    def _bank_decided(
+        self,
+        fingerprint: str,
+        verdict: Optional[str],
+        payload: Optional[Mapping[str, Iterable[Formula]]],
+    ) -> None:
+        """Bank a run's predicates — decided verdicts only.
+
+        An undecided run's precision is dominated by whatever made it
+        diverge (e.g. the path-formula flood); seeding from it would make
+        later runs *slower*.  One definition shared by the in-process and
+        pool paths, so both bank under exactly the same rule.
+        """
+        if payload and verdict in (Verdict.SAFE, Verdict.UNSAFE):
+            self.predicates_banked += self.store.merge(fingerprint, payload)
+
+    @staticmethod
+    def _provenance(fingerprint: str, warm: bool, seeded: int) -> dict[str, Any]:
+        """The ``engine.session`` stamp both scheduling paths attach."""
+        return {
+            "fingerprint": fingerprint,
+            "warm_started": warm,
+            "seeded_predicates": seeded,
+        }
+
+    def _execute(
+        self,
+        task: VerificationTask,
+        program: Program,
+        opts: VerifierOptions,
+        seed: Optional[Precision],
+    ) -> Result:
+        if task.refiner is None and opts.refiner == "portfolio":
+            portfolio = PortfolioEngine(
+                task.source if task.source is not None else program,
+                refiners=opts.portfolio_refiners,
+                strategy=opts.strategy,
+                budget=opts.budget(),
+                incremental=opts.incremental,
+                checker=self.checker,
+                mode=opts.portfolio_mode,
+                slice_refinements=opts.slice_refinements,
+                slice_seconds=opts.slice_seconds,
+                monitor_window=opts.monitor_window,
+                initial_precision=seed,
+                max_predicates_per_location=opts.max_predicates_per_location,
+            )
+            return portfolio.run()
+        engine = self._make_engine(program, opts, refiner=task.refiner)
+        return engine.run(initial_precision=seed)
+
+    def _make_engine(
+        self,
+        program: Union[str, FunctionDef, Program],
+        opts: VerifierOptions,
+        refiner: Optional[Refiner] = None,
+        strategy: Any = None,
+    ) -> VerificationEngine:
+        """One construction path for engines sharing this session's checker."""
+        from .verifier import make_refiner
+
+        if refiner is None:
+            refiner = make_refiner(opts.refiner, self.checker)
+        return VerificationEngine(
+            program,
+            refiner=refiner,
+            checker=self.checker,
+            strategy=opts.strategy if strategy is None else strategy,
+            budget=opts.budget(),
+            incremental=opts.incremental,
+            max_predicates_per_location=opts.max_predicates_per_location,
+        )
+
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        tasks: Sequence[Union[str, tuple[str, str], dict, VerificationTask]],
+        jobs: Optional[int] = None,
+    ) -> list[dict[str, Any]]:
+        """Verify a corpus; returns one versioned JSON document per task.
+
+        ``jobs=None`` picks ``min(len(tasks), cpu_count)``; ``1`` runs
+        sequentially in-process (tasks later in the list then warm-start
+        from earlier ones on the same program).  On a pool, seeds reflect
+        the store at submit time and every worker ships its discovered
+        precision back, so the bank still grows; platforms that refuse to
+        spawn a pool degrade to the sequential path.  The pool requires
+        every task to be shippable — if *any* task lacks source text
+        (pre-built program) or pins an in-process refiner instance or seed
+        precision, the **whole batch** runs sequentially.
+        """
+        normalised = [self._coerce(entry) for entry in tasks]
+        if jobs is None:
+            jobs = min(len(normalised), os.cpu_count() or 1)
+        poolable = jobs > 1 and len(normalised) > 1 and all(
+            task.source is not None and task.refiner is None
+            and task.initial_precision is None
+            for task in normalised
+        )
+        if poolable:
+            # (task, payload, error_doc) per input: a task whose source does
+            # not even parse becomes an error doc here instead of aborting
+            # the batch (the same isolation the workers give runtime errors).
+            prepared: list[tuple[VerificationTask, Optional[dict], Optional[dict]]] = []
+            for index, task in enumerate(normalised):
+                try:
+                    opts = task.options or self.options
+                    program = task.resolved()
+                    seed = (
+                        self.store.payload(task.fingerprint)
+                        if opts.warm_start
+                        else None
+                    )
+                    payload = {
+                        "name": task.name or program.name,
+                        "source": task.source,
+                        "refiner": opts.refiner,
+                        "strategy": opts.strategy,
+                        "budget": vars(opts.budget()),
+                        "incremental": opts.incremental,
+                        "max_predicates_per_location": opts.max_predicates_per_location,
+                        "portfolio_refiners": list(opts.portfolio_refiners),
+                        "slice_refinements": opts.slice_refinements,
+                        "slice_seconds": opts.slice_seconds,
+                        "monitor_window": opts.monitor_window,
+                        "seed": seed,
+                        "ship_precision": True,
+                    }
+                    prepared.append((task, payload, None))
+                except Exception as error:
+                    prepared.append(
+                        (task, None, error_doc(task.name or f"task{index}", error))
+                    )
+            payloads = [payload for _, payload, _ in prepared if payload is not None]
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    pool_docs = list(pool.map(_run_batch_task, payloads))
+            except (OSError, PermissionError, ImportError):
+                pool_docs = None  # fall through to the sequential path
+            if pool_docs is not None:
+                results = iter(pool_docs)
+                docs = []
+                for task, payload, parse_error_doc in prepared:
+                    self.tasks_run += 1
+                    if payload is None:
+                        docs.append(parse_error_doc)
+                        continue
+                    doc = next(results)
+                    if doc.get("verdict") == "error":
+                        # The worker crashed before running warm: keep the
+                        # counters honest and the error-doc key set lean.
+                        doc.pop("_precision", None)
+                        docs.append(doc)
+                        continue
+                    if payload["seed"]:
+                        self.warm_starts += 1
+                    self._bank_decided(
+                        task.fingerprint, doc.get("verdict"), doc.pop("_precision", None)
+                    )
+                    doc.setdefault("engine", {})
+                    if isinstance(doc["engine"], dict):
+                        doc["engine"]["session"] = self._provenance(
+                            task.fingerprint,
+                            bool(payload["seed"]),
+                            sum(
+                                len(preds)
+                                for preds in (payload["seed"] or {}).values()
+                            ),
+                        )
+                    docs.append(doc)
+                return docs
+        docs = []
+        for index, task in enumerate(normalised):
+            # Per-task isolation, matching the pool workers: one malformed
+            # source must yield an error doc, not abort the whole batch.
+            before = self.tasks_run
+            try:
+                docs.append(self.run(task).to_json(name=task.name))
+            except Exception as error:
+                if self.tasks_run == before:
+                    # run() raised before its own accounting (parse failure):
+                    # the task still happened, keep the counters path-agnostic.
+                    self.tasks_run += 1
+                docs.append(error_doc(task.name or f"task{index}", error))
+        return docs
+
+    def _coerce(self, entry: Any) -> VerificationTask:
+        if isinstance(entry, VerificationTask):
+            return entry
+        if isinstance(entry, tuple):
+            name, source = entry
+            return VerificationTask(source, name=name)
+        if isinstance(entry, dict):
+            options = entry.get("options")
+            if isinstance(options, Mapping):
+                options = VerifierOptions.from_dict(options)
+            return VerificationTask(
+                entry["source"], name=entry.get("name"), options=options
+            )
+        return self.task(entry)
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, Any]:
+        """Session-level counters: scheduler, store, checker and its caches."""
+        return {
+            "tasks_run": self.tasks_run,
+            "warm_starts": self.warm_starts,
+            "predicates_banked": self.predicates_banked,
+            "programs_known": len(self.store),
+            "checker": self.checker.statistics(),
+            "checker_caches": self.checker.cache_sizes(),
+        }

@@ -1,24 +1,26 @@
-"""The CEGAR driver (Section 4.1) — a thin client of the engine.
+"""The CEGAR driver (Section 4.1) — a thin client of the session API.
 
 The loop itself (abstract reachability, counterexample analysis, abstraction
 refinement, with budgets and incremental ART repair) lives in
-:class:`~repro.core.engine.VerificationEngine`.  This module keeps the
+:class:`~repro.core.engine.VerificationEngine`; option handling and engine
+construction live in :mod:`repro.core.api`.  This module keeps the
 historical :class:`CegarLoop` entry point and re-exports the result types so
 existing imports keep working.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Union
 
 from ..lang.cfg import Program
 from ..smt.vcgen import VcChecker
 from .engine import (
-    Budget,
     CegarResult,
     IterationRecord,
     PortfolioEngine,
     PortfolioResult,
+    Result,
     Verdict,
     VerificationEngine,
 )
@@ -28,6 +30,7 @@ from .refiners import Refiner
 __all__ = [
     "Verdict",
     "IterationRecord",
+    "Result",
     "CegarResult",
     "PortfolioResult",
     "CegarLoop",
@@ -37,11 +40,13 @@ __all__ = [
 class CegarLoop:
     """Counterexample-guided abstraction refinement with pluggable refiners.
 
-    A compatibility facade over :class:`VerificationEngine`; the keyword
-    arguments mirror the pre-engine constructor, plus the engine's
-    ``strategy`` and ``incremental`` knobs.  ``refiner`` also accepts a name
-    (``"path-invariant"``, ``"path-formula"``, or ``"portfolio"`` — the
-    latter delegating to :class:`PortfolioEngine`'s in-process round-robin).
+    A compatibility facade, now deprecated in favour of
+    :class:`~repro.core.api.Session` (or :class:`VerificationEngine`
+    directly); the keyword arguments mirror the pre-engine constructor, plus
+    the engine's ``strategy`` and ``incremental`` knobs.  ``refiner`` also
+    accepts a name (``"path-invariant"``, ``"path-formula"``, or
+    ``"portfolio"`` — the latter delegating to :class:`PortfolioEngine`'s
+    in-process round-robin).
     """
 
     def __init__(
@@ -55,13 +60,31 @@ class CegarLoop:
         incremental: bool = True,
         max_seconds: Optional[float] = None,
         max_solver_calls: Optional[int] = None,
+        max_predicates_per_location: Optional[int] = None,
     ) -> None:
-        budget = Budget(
+        from .api import Session, VerifierOptions
+
+        warnings.warn(
+            "CegarLoop is deprecated; use repro.Session (or VerificationEngine "
+            "directly) with VerifierOptions",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        options = VerifierOptions(
+            refiner=refiner if isinstance(refiner, str) else "path-invariant",
+            # A Frontier instance bypasses options validation; the engine
+            # accepts it natively below.
+            strategy=strategy if isinstance(strategy, str) else "bfs",
             max_refinements=max_refinements,
             max_nodes=max_art_nodes,
             max_seconds=max_seconds,
             max_solver_calls=max_solver_calls,
+            incremental=incremental,
+            portfolio_mode="round-robin",
+            max_predicates_per_location=max_predicates_per_location,
         )
+        self.session = Session(options, checker=checker)
+        self.checker = self.session.checker
         if refiner == "portfolio":
             if isinstance(strategy, Frontier):
                 raise ValueError(
@@ -69,39 +92,32 @@ class CegarLoop:
                 )
             self.engine: Union[VerificationEngine, PortfolioEngine] = PortfolioEngine(
                 program,
-                strategy=strategy,
-                budget=budget,
+                strategy=options.strategy,
+                budget=options.budget(),
                 incremental=incremental,
-                checker=checker,
+                checker=self.checker,
                 mode="round-robin",
+                max_predicates_per_location=max_predicates_per_location,
             )
             self.program = self.engine.program
-            self.checker = self.engine.checker
             self.refiner = None
             return
-        if isinstance(refiner, str):
-            from .verifier import make_refiner
-
-            checker = checker or VcChecker()
-            refiner = make_refiner(refiner, checker)
-        self.engine = VerificationEngine(
+        self.engine = self.session._make_engine(
             program,
-            refiner=refiner,
-            checker=checker,
-            strategy=strategy,
-            budget=budget,
-            incremental=incremental,
+            options,
+            refiner=refiner if isinstance(refiner, Refiner) else None,
+            strategy=strategy if isinstance(strategy, Frontier) else None,
         )
         self.program = self.engine.program
-        self.checker = self.engine.checker
         self.refiner = self.engine.refiner
 
-    def run(self, initial_precision: Optional[Precision] = None) -> CegarResult:
+    def run(self, initial_precision: Optional[Precision] = None) -> Result:
         if isinstance(self.engine, PortfolioEngine):
             if initial_precision is not None:
                 raise ValueError(
                     "the portfolio grows one precision per refiner; "
-                    "an initial precision is not supported"
+                    "an initial precision is not supported here — use "
+                    "Session/PortfolioEngine(initial_precision=...) instead"
                 )
             return self.engine.run()
         return self.engine.run(initial_precision)

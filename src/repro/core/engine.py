@@ -23,7 +23,6 @@ machine-readable results (wired to the ``python -m repro`` CLI).
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Union
@@ -47,7 +46,9 @@ __all__ = [
     "Verdict",
     "Budget",
     "IterationRecord",
+    "Result",
     "CegarResult",
+    "RESULT_SCHEMA_VERSION",
     "VerificationEngine",
     "PortfolioEngine",
     "PortfolioResult",
@@ -60,6 +61,11 @@ __all__ = [
 
 #: The exploration strategies the engine accepts by name.
 STRATEGY_NAMES = FRONTIER_NAMES
+
+#: Version of the JSON document produced by :meth:`Result.to_json`.  Bump on
+#: any breaking change to the key set or value semantics; additive keys keep
+#: the version.  The schema itself is documented on :meth:`Result.to_json`.
+RESULT_SCHEMA_VERSION = 1
 
 
 class Verdict:
@@ -116,8 +122,16 @@ class IterationRecord:
 
 
 @dataclass
-class CegarResult:
-    """Final outcome of a CEGAR run."""
+class Result:
+    """Final outcome of a verification run (the unified result type).
+
+    Every entry point — :func:`repro.verify`, :class:`VerificationEngine`,
+    :class:`PortfolioEngine`, :class:`repro.core.api.Session` — produces a
+    ``Result`` (or its :class:`PortfolioResult` subclass); the historical
+    name ``CegarResult`` is an alias.  :meth:`to_json` renders the versioned
+    machine-readable document shared by the CLI, ``verify_many`` and the
+    benchmark harness.
+    """
 
     verdict: str
     program: Program
@@ -194,6 +208,85 @@ class CegarResult:
             lines.append(f"reason:       {self.reason}")
         return "\n".join(lines)
 
+    def to_json(self, name: Optional[str] = None) -> dict[str, Any]:
+        """The versioned JSON-serialisable view of this result.
+
+        Schema (version ``RESULT_SCHEMA_VERSION``):
+
+        ======================  ================================================
+        key                     value
+        ======================  ================================================
+        ``schema_version``      integer schema version (currently 1)
+        ``name``                task name (defaults to the program name)
+        ``verdict``             ``safe`` / ``unsafe`` / ``unknown`` / ``error``
+        ``reason``              human-readable reason for non-decided verdicts
+        ``iterations``          number of CEGAR iterations
+        ``refinements``         iterations that ended in a refinement
+        ``predicates``          total predicates in the final precision
+        ``seconds``             wall-clock time of the run
+        ``post_decisions``      abstract-post decisions requested
+        ``nodes_reused``        ART nodes retained across refinement repairs
+        ``engine``              engine counters (strategy, incremental, ART
+                                statistics, warm-start provenance when run
+                                through a :class:`~repro.core.api.Session`)
+        ``per_iteration``       one record per iteration (nodes, posts,
+                                counterexample length/feasibility, repair)
+        ``witness``             (unsafe only) input valuation as strings
+        ``solver``              final cumulative solver/checker counters
+        ``portfolio``           (portfolio only) mode, winner, per-arm reports
+        ======================  ================================================
+        """
+        payload: dict[str, Any] = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "name": name or self.program.name,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "iterations": len(self.iterations),
+            "refinements": self.num_refinements,
+            "predicates": self.total_predicates(),
+            "seconds": round(self.total_seconds, 6),
+            "post_decisions": self.post_decisions(),
+            "nodes_reused": self.nodes_reused(),
+            "engine": self.engine_stats,
+            "per_iteration": [
+                {
+                    "iteration": record.iteration,
+                    "nodes_created": record.nodes_created,
+                    "post_decisions": record.post_decisions,
+                    "counterexample_length": record.counterexample_length,
+                    "counterexample_feasible": record.counterexample_feasible,
+                    "new_predicates": (
+                        record.refinement.new_predicates if record.refinement else 0
+                    ),
+                    "repair": record.repair,
+                    "seconds": round(record.seconds, 6),
+                }
+                for record in self.iterations
+            ],
+        }
+        if self.counterexample is not None and self.counterexample.model:
+            payload["witness"] = {
+                str(var): str(value) for var, value in self.counterexample.model.items()
+            }
+        if self.iterations and self.iterations[-1].solver_stats:
+            payload["solver"] = self.iterations[-1].solver_stats
+        if isinstance(self, PortfolioResult):
+            payload["portfolio"] = {
+                "mode": self.mode,
+                "winner": self.winner,
+                "arms": self.arms,
+            }
+            if "witness" not in payload:
+                # In process mode the winner's witness only exists in its arm doc.
+                for arm in self.arms:
+                    if arm["refiner"] == self.winner and "witness" in arm:
+                        payload["witness"] = arm["witness"]
+        return payload
+
+
+#: Historical name of :class:`Result`, kept for compatibility.
+CegarResult = Result
+
 
 class VerificationEngine:
     """Counterexample-guided abstraction refinement over a persistent ART."""
@@ -206,6 +299,7 @@ class VerificationEngine:
         strategy: Union[str, Frontier] = "bfs",
         budget: Optional[Budget] = None,
         incremental: bool = True,
+        max_predicates_per_location: Optional[int] = None,
     ) -> None:
         if isinstance(program, str):
             program = program_from_source(program)
@@ -216,6 +310,10 @@ class VerificationEngine:
         self.refiner = refiner if refiner is not None else PathInvariantRefiner(self.checker)
         self.budget = budget or Budget()
         self.incremental = incremental
+        #: Optional per-location predicate cap enforced by the precision
+        #: (``None`` = unbounded); bounds the path-formula refiner's array
+        #: predicate flood at the cost of refinement completeness.
+        self.max_predicates_per_location = max_predicates_per_location
         if isinstance(strategy, Frontier):
             # A frontier instance is consumed by the first tree only; later
             # fresh trees (restart mode, repeated run()) get a new frontier —
@@ -262,9 +360,20 @@ class VerificationEngine:
         ):
             return self._last_result  # the verdict is final; nothing to resume
         if not (resume and self.art is not None):
-            self._precision = (
-                initial_precision.copy() if initial_precision else Precision()
-            )
+            cap = self.max_predicates_per_location
+            if initial_precision is None:
+                self._precision = Precision(cap)
+            elif cap is None:
+                self._precision = initial_precision.copy()
+            else:
+                # Re-add the seed under the cap (deterministic order, like
+                # Precision.from_location_names) so a seed larger than the
+                # cap is truncated instead of silently exceeding it.
+                capped = Precision(cap)
+                for location, predicates in initial_precision.snapshot().items():
+                    for predicate in sorted(predicates, key=str):
+                        capped.add(location, predicate)
+                self._precision = capped
             self._iterations = []
             self._elapsed = 0.0
             self.art = self._fresh_art()
@@ -378,6 +487,9 @@ class VerificationEngine:
             "strategy": self.strategy_name,
             "incremental": self.incremental,
         }
+        if precision.max_per_location is not None:
+            engine_stats["max_predicates_per_location"] = precision.max_per_location
+            engine_stats["predicates_dropped"] = precision.predicates_dropped
         if self.art is not None:
             art_stats = self.art.statistics()
             engine_stats.update(art_stats)
@@ -417,12 +529,13 @@ PORTFOLIO_MODES = ("auto", "process", "round-robin")
 
 
 @dataclass
-class PortfolioResult(CegarResult):
-    """A :class:`CegarResult` plus the portfolio's per-refiner breakdown.
+class PortfolioResult(Result):
+    """A :class:`Result` plus the portfolio's per-refiner breakdown.
 
-    The base fields describe the *winning* arm (in process mode only its
-    summary counters survive the process boundary, so ``iterations`` is empty
-    and ``precision`` is ``None`` there).  ``arms`` holds one report per
+    The base fields describe the *winning* arm (in process mode its summary
+    counters and discovered *precision* survive the process boundary —
+    predicates are picklable and re-keyed by location name — but
+    ``iterations`` stays empty there).  ``arms`` holds one report per
     refiner: verdict, resource consumption, divergence verdict and the
     scheduling status (``won`` / ``lost`` / ``demoted`` / ``no-progress`` /
     ``exhausted`` / ``cancelled`` / ``error``).
@@ -532,6 +645,8 @@ class PortfolioEngine:
         slice_refinements: int = 2,
         slice_seconds: Optional[float] = None,
         monitor_window: int = 3,
+        initial_precision: Optional[Precision] = None,
+        max_predicates_per_location: Optional[int] = None,
     ) -> None:
         self.source = program if isinstance(program, str) else None
         if isinstance(program, str):
@@ -566,6 +681,12 @@ class PortfolioEngine:
         #: cannot starve its rivals even without a total ``max_seconds``.
         self.slice_seconds = slice_seconds
         self.monitor_window = monitor_window
+        #: Optional seed precision every arm warm-starts from (each arm still
+        #: grows its own copy).  Seeding never changes a decided verdict —
+        #: predicates only refine the abstraction — it just lets an arm skip
+        #: refinement rounds a previous run already paid for.
+        self.initial_precision = initial_precision
+        self.max_predicates_per_location = max_predicates_per_location
 
     # ------------------------------------------------------------------
     def run(self) -> PortfolioResult:
@@ -618,6 +739,7 @@ class PortfolioEngine:
                     max_solver_calls=self.budget.max_solver_calls,
                 ),
                 incremental=self.incremental,
+                max_predicates_per_location=self.max_predicates_per_location,
             )
             arms.append(_PortfolioArm(name, engine, DivergenceMonitor(self.monitor_window)))
 
@@ -660,7 +782,11 @@ class PortfolioEngine:
                     )
                 before = arm.engine.refinements_done
                 work_before = self.checker.num_triple_checks
-                arm.result = arm.engine.run(resume=True)
+                # initial_precision only takes effect on the arm's first
+                # slice (before its tree exists); resumed slices ignore it.
+                arm.result = arm.engine.run(
+                    initial_precision=self.initial_precision, resume=True
+                )
                 arm.feed_monitor()
                 # Progress is either a refinement or genuine new solver work
                 # (a wall-sliced arm mid-exploration).  Cache-hit-only sweeps
@@ -778,6 +904,11 @@ class PortfolioEngine:
         budget = vars(self.budget).copy()
         if budget["max_seconds"] is None:
             budget["max_seconds"] = self.default_race_seconds
+        seed = (
+            self.initial_precision.by_location_name()
+            if self.initial_precision is not None
+            else None
+        )
         payloads = [
             {
                 "name": self.program.name,
@@ -787,6 +918,10 @@ class PortfolioEngine:
                 "budget": budget,
                 "incremental": self.incremental,
                 "window": self.monitor_window,
+                # Formulas pickle (re-interning on load), so the seed crosses
+                # the pool as real predicates keyed by location name.
+                "seed": seed,
+                "max_predicates_per_location": self.max_predicates_per_location,
             }
             for name in self.refiner_names
         ]
@@ -840,6 +975,7 @@ class PortfolioEngine:
 
         total_seconds = time.perf_counter() - start
         reports = []
+        winner_precision: Optional[Precision] = None
         for name in self.refiner_names:
             doc = arm_docs.get(
                 name,
@@ -847,6 +983,14 @@ class PortfolioEngine:
                  "reason": "never scheduled", "status": "cancelled"},
             )
             doc.setdefault("status", "lost")
+            # The discovered precision crosses the pool as pickled formulas;
+            # pop it before the doc joins the JSON-serialisable reports and
+            # rebind the winner's onto this process's program.
+            precision_payload = doc.pop("_precision", None)
+            if winner_doc is not None and doc is winner_doc and precision_payload:
+                winner_precision = Precision.from_location_names(
+                    self.program, precision_payload, self.max_predicates_per_location
+                )
             reports.append(
                 {
                     "refiner": name,
@@ -884,6 +1028,7 @@ class PortfolioEngine:
         return PortfolioResult(
             verdict=verdict,
             program=self.program,
+            precision=winner_precision,
             reason=reason,
             total_seconds=total_seconds,
             engine_stats={
@@ -913,11 +1058,29 @@ def _run_portfolio_arm(payload: dict[str, Any]) -> dict[str, Any]:
             strategy=payload["strategy"],
             budget=Budget(**payload["budget"]),
             incremental=payload["incremental"],
+            max_predicates_per_location=payload.get("max_predicates_per_location"),
         )
         engine.refiner = make_refiner(payload["refiner"], engine.checker)
-        result = engine.run()
+        seed = None
+        if payload.get("seed"):
+            seed = Precision.from_location_names(
+                engine.program,
+                payload["seed"],
+                payload.get("max_predicates_per_location"),
+            )
+        result = engine.run(initial_precision=seed)
         doc = result_to_dict(result, name=payload["name"])
         doc["refiner"] = payload["refiner"]
+        if result.precision is not None and result.verdict in (
+            Verdict.SAFE,
+            Verdict.UNSAFE,
+        ):
+            # Ship the discovered precision home (the ROADMAP's process-race
+            # fidelity item): the parent re-keys it onto its own program and
+            # later runs warm-start from it.  Not JSON — the parent pops it.
+            # Decided runs only: an undecided run's precision is dominated by
+            # whatever made it diverge, and the receiver discards it anyway.
+            doc["_precision"] = result.precision.by_location_name()
         if result.counterexample is not None:
             inputs = result.counterexample.witness_inputs(engine.program.variables)
             if inputs:
@@ -944,53 +1107,21 @@ def _run_portfolio_arm(payload: dict[str, Any]) -> dict[str, Any]:
 # ----------------------------------------------------------------------
 # Batch verification
 # ----------------------------------------------------------------------
-def result_to_dict(result: CegarResult, name: Optional[str] = None) -> dict[str, Any]:
-    """A JSON-serialisable view of a :class:`CegarResult`."""
-    payload: dict[str, Any] = {
-        "name": name or result.program.name,
-        "verdict": result.verdict,
-        "reason": result.reason,
-        "iterations": len(result.iterations),
-        "refinements": result.num_refinements,
-        "predicates": result.total_predicates(),
-        "seconds": round(result.total_seconds, 6),
-        "post_decisions": result.post_decisions(),
-        "nodes_reused": result.nodes_reused(),
-        "engine": result.engine_stats,
-        "per_iteration": [
-            {
-                "iteration": record.iteration,
-                "nodes_created": record.nodes_created,
-                "post_decisions": record.post_decisions,
-                "counterexample_length": record.counterexample_length,
-                "counterexample_feasible": record.counterexample_feasible,
-                "new_predicates": (
-                    record.refinement.new_predicates if record.refinement else 0
-                ),
-                "repair": record.repair,
-                "seconds": round(record.seconds, 6),
-            }
-            for record in result.iterations
-        ],
+def result_to_dict(result: Result, name: Optional[str] = None) -> dict[str, Any]:
+    """A JSON-serialisable view of a :class:`Result` (see :meth:`Result.to_json`)."""
+    return result.to_json(name=name)
+
+
+def error_doc(name: str, error: Exception) -> dict[str, Any]:
+    """A schema-conformant error document for a task that never produced a
+    :class:`Result` (parse failure, worker crash); keeps ``schema_version``
+    uniform across every doc a batch returns."""
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "name": name,
+        "verdict": "error",
+        "reason": repr(error),
     }
-    if result.counterexample is not None and result.counterexample.model:
-        payload["witness"] = {
-            str(var): str(value) for var, value in result.counterexample.model.items()
-        }
-    if result.iterations and result.iterations[-1].solver_stats:
-        payload["solver"] = result.iterations[-1].solver_stats
-    if isinstance(result, PortfolioResult):
-        payload["portfolio"] = {
-            "mode": result.mode,
-            "winner": result.winner,
-            "arms": result.arms,
-        }
-        if "witness" not in payload:
-            # In process mode the winner's witness only exists in its arm doc.
-            for arm in result.arms:
-                if arm["refiner"] == result.winner and "witness" in arm:
-                    payload["witness"] = arm["witness"]
-    return payload
 
 
 def _run_batch_task(payload: dict[str, Any]) -> dict[str, Any]:
@@ -1000,32 +1131,62 @@ def _run_batch_task(payload: dict[str, Any]) -> dict[str, Any]:
     Program/VcChecker instances do not cross process boundaries.
     """
     try:
+        cap = payload.get("max_predicates_per_location")
         if payload["refiner"] == "portfolio":
             # Already inside a worker: run the in-process round-robin rather
             # than nesting a second process pool.
             portfolio = PortfolioEngine(
                 payload["source"],
+                refiners=tuple(payload.get("portfolio_refiners") or PORTFOLIO_REFINERS),
                 strategy=payload["strategy"],
                 budget=Budget(**payload["budget"]),
                 incremental=payload["incremental"],
                 mode="round-robin",
+                slice_refinements=payload.get("slice_refinements", 2),
+                slice_seconds=payload.get("slice_seconds"),
+                monitor_window=payload.get("monitor_window", 3),
+                max_predicates_per_location=cap,
             )
-            return result_to_dict(portfolio.run(), name=payload["name"])
-        engine = VerificationEngine(
-            payload["source"],
-            strategy=payload["strategy"],
-            budget=Budget(**payload["budget"]),
-            incremental=payload["incremental"],
-        )
-        # The refiner needs the engine's checker; build it here rather than
-        # shipping one over.
-        from .verifier import make_refiner
+            if payload.get("seed"):
+                portfolio.initial_precision = Precision.from_location_names(
+                    portfolio.program, payload["seed"], cap
+                )
+            result = portfolio.run()
+        else:
+            engine = VerificationEngine(
+                payload["source"],
+                strategy=payload["strategy"],
+                budget=Budget(**payload["budget"]),
+                incremental=payload["incremental"],
+                max_predicates_per_location=cap,
+            )
+            # The refiner needs the engine's checker; build it here rather
+            # than shipping one over.
+            from .verifier import make_refiner
 
-        engine.refiner = make_refiner(payload["refiner"], engine.checker)
-        result = engine.run()
-        return result_to_dict(result, name=payload["name"])
+            engine.refiner = make_refiner(payload["refiner"], engine.checker)
+            seed = None
+            if payload.get("seed"):
+                # Apply the cap while rebinding, like PrecisionStore.seed_for
+                # does in-process — a banked precision may exceed it.
+                seed = Precision.from_location_names(
+                    engine.program, payload["seed"], cap
+                )
+            result = engine.run(initial_precision=seed)
+        doc = result_to_dict(result, name=payload["name"])
+        if (
+            payload.get("ship_precision")
+            and result.precision is not None
+            and result.verdict in (Verdict.SAFE, Verdict.UNSAFE)
+        ):
+            # Pickled formulas, not JSON: the session pops this key, merges
+            # it into its PrecisionStore, and never lets it reach json.dumps.
+            # Undecided precisions stay in the worker — the session would
+            # only drop them, so serialising the flood would be pure waste.
+            doc["_precision"] = result.precision.by_location_name()
+        return doc
     except Exception as error:  # pragma: no cover - defensive per-task isolation
-        return {"name": payload["name"], "verdict": "error", "reason": repr(error)}
+        return error_doc(payload["name"], error)
 
 
 def _normalise_tasks(
@@ -1048,15 +1209,26 @@ def _normalise_tasks(
     return normalised
 
 
+_UNSET: Any = object()
+
+
 def verify_many(
     tasks: Sequence[Union[str, tuple[str, str], dict[str, str]]],
-    refiner: str = "path-invariant",
-    strategy: str = "bfs",
+    refiner: str = _UNSET,
+    strategy: str = _UNSET,
     budget: Optional[Budget] = None,
-    incremental: bool = True,
+    incremental: bool = _UNSET,
     jobs: Optional[int] = None,
+    options: Optional[Any] = None,
 ) -> list[dict[str, Any]]:
     """Verify a corpus of programs, optionally on a process pool.
+
+    A compatibility wrapper over :meth:`repro.core.api.Session.run_many`
+    (cold — every task starts from the empty precision, matching the
+    historical behaviour; use a :class:`~repro.core.api.Session` directly
+    for warm-started batches).  The superseded tuning kwargs (``refiner``,
+    ``strategy``, ``budget``, ``incremental``) still work but emit a
+    ``DeprecationWarning``; prefer ``options=``.
 
     Parameters
     ----------
@@ -1069,28 +1241,37 @@ def verify_many(
         refuses to spawn a pool (sandboxes without semaphores), the batch
         silently degrades to sequential execution.
 
-    Returns one JSON-serialisable result dict per task, in input order.
+    Returns one JSON-serialisable result dict per task, in input order
+    (see :meth:`Result.to_json` for the versioned schema).
     """
-    budget = budget or Budget()
-    payloads = [
-        {
-            "name": task["name"],
-            "source": task["source"],
-            "refiner": refiner,
-            "strategy": strategy,
-            "budget": vars(budget),
-            "incremental": incremental,
-        }
-        for task in _normalise_tasks(tasks)
-    ]
-    if jobs is None:
-        jobs = min(len(payloads), os.cpu_count() or 1)
-    if jobs > 1 and len(payloads) > 1:
-        try:
-            from concurrent.futures import ProcessPoolExecutor
+    from .api import Session, VerifierOptions, resolve_legacy_options
 
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                return list(pool.map(_run_batch_task, payloads))
-        except (OSError, PermissionError, ImportError):
-            pass  # fall through to the sequential path
-    return [_run_batch_task(payload) for payload in payloads]
+    legacy = {
+        name: value
+        for name, value in (
+            ("refiner", refiner),
+            ("strategy", strategy),
+            ("incremental", incremental),
+        )
+        if value is not _UNSET
+    }
+    if budget is not None:
+        legacy["budget"] = budget
+
+    def build() -> VerifierOptions:
+        effective_budget = budget or Budget()
+        return VerifierOptions(
+            refiner=refiner if refiner is not _UNSET else "path-invariant",
+            strategy=strategy if strategy is not _UNSET else "bfs",
+            incremental=incremental if incremental is not _UNSET else True,
+            max_refinements=effective_budget.max_refinements,
+            max_nodes=effective_budget.max_nodes,
+            max_seconds=effective_budget.max_seconds,
+            max_solver_calls=effective_budget.max_solver_calls,
+        )
+
+    options = resolve_legacy_options("verify_many", options, legacy, build)
+    # This wrapper guarantees cold runs regardless of how the options were
+    # built; warm-started batches go through Session.run_many.
+    session = Session(options.replace(warm_start=False))
+    return session.run_many(_normalise_tasks(tasks), jobs=jobs)

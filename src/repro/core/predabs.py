@@ -80,9 +80,22 @@ class Precision:
     journal of successful additions so that the incremental engine can ask
     "which locations changed since the last reachability round?" without the
     refiners having to report anything (``mark()`` / ``added_since()``).
+
+    ``max_per_location`` optionally caps the number of predicates tracked at
+    any single location: further additions there are rejected (and counted in
+    ``predicates_dropped``).  This bounds the path-formula refiner's
+    predicate flood on array programs; ``None`` (the default) keeps the
+    historical unbounded behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_per_location: Optional[int] = None) -> None:
+        if max_per_location is not None and max_per_location < 1:
+            raise ValueError(
+                f"max_per_location must be at least 1, got {max_per_location}"
+            )
+        self.max_per_location = max_per_location
+        #: Predicates rejected by the per-location cap (diagnostics only).
+        self.predicates_dropped = 0
         self._predicates: dict[Location, set[Formula]] = {}
         self._journal: list[tuple[Location, Formula]] = []
 
@@ -90,11 +103,17 @@ class Precision:
         return frozenset(self._predicates.get(location, set()))
 
     def add(self, location: Location, predicate: Formula) -> bool:
-        """Add a predicate; returns True when it is new."""
+        """Add a predicate; returns True when it is new (and under the cap)."""
         if predicate in (TRUE, FALSE):
             return False
         existing = self._predicates.setdefault(location, set())
         if predicate in existing:
+            return False
+        if (
+            self.max_per_location is not None
+            and len(existing) >= self.max_per_location
+        ):
+            self.predicates_dropped += 1
             return False
         existing.add(predicate)
         self._journal.append((location, predicate))
@@ -128,8 +147,47 @@ class Precision:
             if preds
         }
 
+    def by_location_name(self) -> dict[str, tuple[Formula, ...]]:
+        """The predicate sets keyed by location *name* (deterministic order).
+
+        Location names are stable across independent parses of the same
+        source (the CFG builder is deterministic), so this is the portable
+        form a precision travels in — across process pools and between
+        sessions (see :class:`repro.core.api.PrecisionStore`).  Formulas are
+        picklable and re-intern on load.
+        """
+        return {
+            location.name: tuple(sorted(predicates, key=str))
+            for location, predicates in self._predicates.items()
+            if predicates
+        }
+
+    @classmethod
+    def from_location_names(
+        cls,
+        program: Program,
+        payload: dict[str, Iterable[Formula]],
+        max_per_location: Optional[int] = None,
+    ) -> "Precision":
+        """Rebind a :meth:`by_location_name` payload onto ``program``.
+
+        Names with no matching location in ``program`` are ignored (the
+        payload may come from a store keyed by fingerprint, but defensive
+        matching keeps a stale entry from crashing a run).
+        """
+        precision = cls(max_per_location)
+        locations = {location.name: location for location in program.locations}
+        for name, predicates in payload.items():
+            location = locations.get(name)
+            if location is None:
+                continue
+            for predicate in sorted(predicates, key=str):
+                precision.add(location, predicate)
+        return precision
+
     def copy(self) -> "Precision":
-        clone = Precision()
+        clone = Precision(self.max_per_location)
+        clone.predicates_dropped = self.predicates_dropped
         for location, predicates in self._predicates.items():
             clone._predicates[location] = set(predicates)
         clone._journal = list(self._journal)

@@ -3,17 +3,32 @@
 ``verify()`` is the one-call entry point a downstream user needs: it accepts
 mini-C source text, a parsed function, or an already-built transition system,
 runs CEGAR with the requested refinement strategy, and returns the
-:class:`~repro.core.cegar.CegarResult`.
+:class:`~repro.core.engine.Result`.
+
+It is a thin compatibility wrapper over the typed task/session API
+(:mod:`repro.core.api`): the historical keyword knobs are translated into a
+:class:`~repro.core.api.VerifierOptions` and executed through an ephemeral
+:class:`~repro.core.api.Session`.  New code should construct the options (or
+a session, to get cross-task memoisation and warm-starting) directly::
+
+    from repro import Session, VerifierOptions
+
+    options = VerifierOptions(refiner="portfolio", max_refinements=12)
+    result = Session(options).run(source)
+
+Passing the superseded tuning kwargs still works but emits a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from ..lang.ast import FunctionDef
-from ..lang.cfg import Program, build_program, program_from_source
+from ..lang.cfg import Program
 from ..smt.vcgen import VcChecker
-from .engine import Budget, CegarResult, PortfolioEngine, VerificationEngine
+from .engine import Result
+from .predabs import Precision
 from .refiners import PathFormulaRefiner, PathInvariantRefiner, Refiner
 
 __all__ = ["verify", "make_refiner", "REFINER_NAMES", "ENGINE_REFINER_NAMES"]
@@ -39,79 +54,114 @@ def make_refiner(name: str, checker: Optional[VcChecker] = None) -> Refiner:
     raise ValueError(f"unknown refiner {name!r}; expected one of {REFINER_NAMES}")
 
 
+#: Sentinel distinguishing "kwarg not passed" from an explicit default value.
+_UNSET: Any = object()
+
+#: verify() kwarg -> VerifierOptions field for the superseded tuning knobs.
+_LEGACY_FIELDS = {
+    "max_refinements": "max_refinements",
+    "max_art_nodes": "max_nodes",
+    "strategy": "strategy",
+    "max_seconds": "max_seconds",
+    "incremental": "incremental",
+    "portfolio_mode": "portfolio_mode",
+    "max_predicates_per_location": "max_predicates_per_location",
+}
+
+
 def verify(
     program: Union[str, FunctionDef, Program],
-    refiner: Union[str, Refiner] = "path-invariant",
-    max_refinements: int = 25,
-    max_art_nodes: int = 4000,
+    refiner: Union[str, Refiner] = _UNSET,
+    max_refinements: int = _UNSET,
+    max_art_nodes: int = _UNSET,
     checker: Optional[VcChecker] = None,
-    strategy: str = "bfs",
-    max_seconds: Optional[float] = None,
-    incremental: bool = True,
-    portfolio_mode: str = "auto",
-) -> CegarResult:
+    strategy: str = _UNSET,
+    max_seconds: Optional[float] = _UNSET,
+    incremental: bool = _UNSET,
+    portfolio_mode: str = _UNSET,
+    max_predicates_per_location: Optional[int] = _UNSET,
+    options: Optional["VerifierOptions"] = None,
+    initial_precision: Optional[Precision] = None,
+) -> Result:
     """Verify the assertions of a program.
-
-    A compatibility wrapper around :class:`VerificationEngine` — the original
-    signature is preserved; the engine's knobs are exposed as optional
-    keyword arguments.
 
     Parameters
     ----------
     program:
         Mini-C source text, a parsed :class:`FunctionDef`, or a
         :class:`Program` transition system.
+    options:
+        A :class:`~repro.core.api.VerifierOptions` carrying every tuning
+        knob — the preferred interface.  Mutually exclusive with the
+        deprecated individual kwargs below.
     refiner:
         ``"path-invariant"`` (the paper's refinement through path programs,
         the default), ``"path-formula"`` (the classic CEGAR baseline),
         ``"portfolio"`` (race both with divergence detection; returns a
         :class:`~repro.core.engine.PortfolioResult`), or a custom
         :class:`Refiner` instance.
-    max_refinements:
-        Budget on CEGAR iterations; the baseline refiner needs this on
-        programs whose proofs require loop invariants.
-    strategy:
-        Exploration order of the abstract reachability tree: ``"bfs"`` (the
-        default), ``"dfs"``, or ``"error-distance"``.
-    max_seconds:
-        Optional wall-clock budget for the whole run.
-    incremental:
-        Keep one persistent ART across refinements (default).  ``False``
-        rebuilds the tree from scratch after every refinement — the
-        restart-the-world baseline the benchmarks compare against.
-    portfolio_mode:
-        Only with ``refiner="portfolio"``: ``"auto"`` (race in worker
-        processes when possible, else round-robin), ``"process"``, or
-        ``"round-robin"``.
-    """
-    budget = Budget(
-        max_refinements=max_refinements,
-        max_nodes=max_art_nodes,
-        max_seconds=max_seconds,
-    )
-    if refiner == "portfolio":
-        portfolio = PortfolioEngine(
-            program,
-            strategy=strategy,
-            budget=budget,
-            incremental=incremental,
-            checker=checker,
-            mode=portfolio_mode,
-        )
-        return portfolio.run()
-    if isinstance(program, str):
-        program = program_from_source(program)
-    elif isinstance(program, FunctionDef):
-        program = build_program(program)
+    initial_precision:
+        Optional seed precision (warm start); a seed never changes a
+        decided verdict, it only removes refinement work.
+    checker:
+        A shared :class:`VcChecker` (its memo caches carry across calls).
 
-    checker = checker or VcChecker()
-    refiner_obj = refiner if isinstance(refiner, Refiner) else make_refiner(refiner, checker)
-    engine = VerificationEngine(
-        program,
-        refiner=refiner_obj,
-        checker=checker,
-        strategy=strategy,
-        budget=budget,
-        incremental=incremental,
+    The remaining keyword arguments (``max_refinements``, ``max_art_nodes``,
+    ``strategy``, ``max_seconds``, ``incremental``, ``portfolio_mode``,
+    ``max_predicates_per_location``) mirror the corresponding
+    ``VerifierOptions`` fields and are **deprecated** in favour of
+    ``options=``; ``refiner`` itself remains supported (it is the documented
+    second positional) but is mutually exclusive with ``options=``.
+    """
+    from .api import (
+        Session,
+        VerificationTask,
+        VerifierOptions,
+        resolve_legacy_options,
     )
-    return engine.run()
+
+    legacy = {
+        name: value
+        for name, value in (
+            ("max_refinements", max_refinements),
+            ("max_art_nodes", max_art_nodes),
+            ("strategy", strategy),
+            ("max_seconds", max_seconds),
+            ("incremental", incremental),
+            ("portfolio_mode", portfolio_mode),
+            ("max_predicates_per_location", max_predicates_per_location),
+        )
+        if value is not _UNSET
+    }
+    refiner_instance: Optional[Refiner] = None
+    refiner_name: Optional[str] = None
+    if isinstance(refiner, Refiner):
+        refiner_instance = refiner
+    elif refiner is not _UNSET:
+        refiner_name = refiner
+    # ``refiner`` stays a first-class convenience (the documented second
+    # positional), so it does not trigger the deprecation warning — but it
+    # still conflicts with options=, which carries its own refiner field.
+    if options is not None and refiner_name is not None:
+        raise ValueError(
+            "pass either options= (which has a refiner field) or refiner=, "
+            "not both"
+        )
+
+    def build() -> VerifierOptions:
+        translated = {
+            _LEGACY_FIELDS.get(name, name): value for name, value in legacy.items()
+        }
+        if refiner_name is not None:
+            translated["refiner"] = refiner_name
+        return VerifierOptions(**translated)
+
+    options = resolve_legacy_options("verify", options, legacy, build)
+    session = Session(options, checker=checker)
+    # A direct VerificationTask (not session.task): verify() historically
+    # treats a string as source text, never as a built-in program name.
+    return session.run(
+        VerificationTask(
+            program, refiner=refiner_instance, initial_precision=initial_precision
+        )
+    )

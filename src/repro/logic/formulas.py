@@ -187,6 +187,12 @@ class BoolConst(Formula):
 
     __hash__ = Formula.__hash__
 
+    def __reduce__(self):
+        # Unpickling re-enters __new__, so loaded formulas re-intern into the
+        # receiving process (predicates are shipped across process pools for
+        # warm-starting; see repro.core.api).
+        return (BoolConst, (self.value,))
+
     def _compute_variables(self) -> Iterable[Var]:
         return ()
 
@@ -249,6 +255,9 @@ class Atom(Formula):
         return NotImplemented
 
     __hash__ = Formula.__hash__
+
+    def __reduce__(self):
+        return (Atom, (self.expr, self.rel))
 
     def _compute_variables(self) -> Iterable[Var]:
         return self.expr.variables()
@@ -324,6 +333,9 @@ class And(Formula):
 
     __hash__ = Formula.__hash__
 
+    def __reduce__(self):
+        return (And, (self.args,))
+
     def _compute_variables(self) -> Iterable[Var]:
         result: set[Var] = set()
         for arg in self.args:
@@ -389,6 +401,9 @@ class Or(Formula):
         return NotImplemented
 
     __hash__ = Formula.__hash__
+
+    def __reduce__(self):
+        return (Or, (self.args,))
 
     def _compute_variables(self) -> Iterable[Var]:
         result: set[Var] = set()
@@ -456,6 +471,9 @@ class Not(Formula):
 
     __hash__ = Formula.__hash__
 
+    def __reduce__(self):
+        return (Not, (self.arg,))
+
     def _compute_variables(self) -> Iterable[Var]:
         return self.arg.variables()
 
@@ -520,6 +538,9 @@ class Forall(Formula):
         return NotImplemented
 
     __hash__ = Formula.__hash__
+
+    def __reduce__(self):
+        return (Forall, (self.index, self.body))
 
     def _compute_variables(self) -> Iterable[Var]:
         return self.body.variables() - {self.index}

@@ -88,6 +88,12 @@ class Var:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Unpickling goes back through __new__, so a loaded term re-interns
+        # into the receiving process's table (precisions shipped across a
+        # process pool stay identity-comparable with locally built terms).
+        return (Var, (self.name,))
+
     # Total order by name (mirrors the seed's ``order=True`` dataclass).
     def __lt__(self, other: object) -> bool:
         if isinstance(other, Var):
@@ -160,6 +166,9 @@ class ArrayRead:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        return (ArrayRead, (self.array, self.index))
+
     def __str__(self) -> str:
         return f"{self.array}[{self.index}]"
 
@@ -223,6 +232,9 @@ class LinExpr:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (LinExpr, (self.terms, self.const))
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -102,6 +102,21 @@ class VcChecker:
         stats.update(self.solver.cache_info())
         return stats
 
+    def cache_sizes(self) -> dict[str, int]:
+        """Entry counts of the checker-level memo tables.
+
+        Long-lived sessions (:class:`repro.core.api.Session`) share one
+        checker across many tasks; these sizes are the memory-side of that
+        bargain and feed :meth:`Session.statistics` so a service can watch
+        cache growth and decide when to recycle a session.
+        """
+        return {
+            "triple_cache": len(self._triple_cache),
+            "edge_cache": len(self._edge_cache),
+            "post_cache": len(self._post_cache),
+            "state_formulas": len(self._state_formulas),
+        }
+
     def snapshot(self) -> dict[str, int]:
         """A frozen copy of :meth:`statistics`, for later delta computation.
 

@@ -38,6 +38,47 @@ class TestVerifyCommand:
         assert payload["name"] == "lock_step"
         assert payload["verdict"] == "safe"
         assert payload["engine"]["incremental"] is True
+        assert payload["schema_version"] == 1
+
+    def test_options_file_toml(self, tmp_path, capsys):
+        opts = tmp_path / "opts.toml"
+        opts.write_text('refiner = "path-formula"\nmax_refinements = 2\n')
+        assert run_cli(["verify", "forward", "--options", str(opts)]) == 2
+        capsys.readouterr()  # drain the summary output
+        assert run_cli(["verify", "forward", "--options", str(opts), "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["refinements"] <= 2
+
+    def test_options_file_json_with_flag_override(self, tmp_path, capsys):
+        opts = tmp_path / "opts.json"
+        opts.write_text(json.dumps({"refiner": "path-formula", "max_refinements": 2}))
+        # The explicit flag overrides the file's refiner; path-invariant
+        # proves FORWARD within two refinements.
+        assert run_cli([
+            "verify", "forward", "--options", str(opts),
+            "--refiner", "path-invariant", "--max-refinements", "8",
+        ]) == 0
+
+    def test_options_file_errors_are_usage_errors(self, tmp_path, capsys):
+        missing = tmp_path / "nope.toml"
+        assert run_cli(["verify", "forward", "--options", str(missing)]) == 3
+        bad = tmp_path / "bad.toml"
+        bad.write_text('refiner = "alchemy"\n')
+        assert run_cli(["verify", "forward", "--options", str(bad)]) == 3
+        assert "unknown refiner" in capsys.readouterr().err
+        # Wrong-typed values are a usage error too, never a verdict code.
+        typed = tmp_path / "typed.toml"
+        typed.write_text('max_refinements = "five"\n')
+        assert run_cli(["verify", "forward", "--options", str(typed)]) == 3
+
+    def test_max_predicates_per_location_flag(self, capsys):
+        assert run_cli([
+            "verify", "forward", "--refiner", "path-formula",
+            "--max-refinements", "4", "--max-predicates-per-location", "3",
+            "--json",
+        ]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"]["max_predicates_per_location"] == 3
 
     def test_restart_flag(self, capsys):
         assert run_cli(["verify", "lock_step", "--json", "--restart"]) == 0
@@ -55,6 +96,12 @@ class TestVerifyCommand:
     def test_missing_target(self, capsys):
         assert run_cli(["verify", "no_such_program"]) == 3
         assert "neither a built-in" in capsys.readouterr().err
+
+    def test_malformed_source_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("void broken( {")
+        assert run_cli(["verify", str(bad)]) == 3
+        assert "error:" in capsys.readouterr().err
 
     def test_portfolio_refiner(self, capsys):
         """--refiner portfolio proves FORWARD, on which path-formula alone
@@ -99,6 +146,33 @@ class TestBatchCommand:
         payload = json.loads(out_file.read_text())
         assert payload["tasks"] == 2
         assert payload["verdicts"] == {"safe": 1, "unsafe": 1}
+        assert payload["schema_version"] == 1
+        assert payload["session"]["tasks_run"] == 2
+
+    def test_batch_session_warm_starts_repeated_targets(self, tmp_path):
+        out_file = tmp_path / "warm.json"
+        code = run_cli([
+            "batch", "lock_step", "lock_step",
+            "--jobs", "1", "--output", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        first, again = payload["results"]
+        assert payload["session"]["warm_starts"] == 1
+        assert again["engine"]["session"]["warm_started"] is True
+        assert again["post_decisions"] < first["post_decisions"]
+
+    def test_batch_no_warm_start_flag(self, tmp_path):
+        out_file = tmp_path / "cold.json"
+        code = run_cli([
+            "batch", "lock_step", "lock_step", "--no-warm-start",
+            "--jobs", "1", "--output", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["session"]["warm_starts"] == 0
+        first, again = payload["results"]
+        assert again["post_decisions"] == first["post_decisions"]
 
     def test_batch_unknown_exit_code(self, capsys):
         code = run_cli(["batch", "forward", "--jobs", "1", "--max-refinements", "0"])
@@ -108,6 +182,15 @@ class TestBatchCommand:
 
     def test_batch_requires_targets(self, capsys):
         assert run_cli(["batch"]) == 3
+
+    @pytest.mark.parametrize("jobs", ["1", "2"])
+    def test_batch_isolates_malformed_sources(self, tmp_path, capsys, jobs):
+        bad = tmp_path / "bad.c"
+        bad.write_text("void broken( {")
+        code = run_cli(["batch", str(bad), "lock_step", "--jobs", jobs])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["verdict"] for r in payload["results"]] == ["error", "safe"]
 
 
 class TestListCommand:
