@@ -1,26 +1,31 @@
 #!/usr/bin/env python3
-"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr4.json``.
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr5.json``.
 
-Four data sections feed the perf trajectory (``benchmarks/trend_diff.py``
+Five data sections feed the perf trajectory (``benchmarks/trend_diff.py``
 diffs the engine section of consecutive snapshots in CI):
 
-* ``pytest``    — every ``bench_e*.py`` benchmark run through pytest-benchmark
-  (wall time per benchmark plus the experiment facts each test records in
-  ``extra_info``: verdicts, refinement counts, reductions, ...).
-* ``engine``    — direct incremental-vs-restart engine runs over the suite
+* ``pytest``      — every ``bench_e*.py`` benchmark run through
+  pytest-benchmark (wall time per benchmark plus the experiment facts each
+  test records in ``extra_info``: verdicts, refinement counts, reductions).
+* ``engine``      — direct incremental-vs-restart engine runs over the suite
   programs, recording per program: wall time, ART nodes created/reused,
-  abstract-post decisions, and solver calls for both modes.
-* ``portfolio`` — the refiner portfolio on the divergent corpus: per program
-  the single-refiner baselines and the round-robin portfolio's verdict,
-  winner, per-arm statuses and total cost (the bench_e9 complementarity
-  story in raw numbers).
-* ``session``   — warm-started vs cold suite batches through the session
+  abstract-post decisions, solver calls (cold ``check_sat`` queries plus
+  context checks of the batched post oracle) and the oracle's
+  prepare/context-reuse counters for both modes.
+* ``post_oracle`` — the batched abstract-post oracle vs the scalar baseline
+  over the suite: per program wall time and ``ssa_translate`` counts (the
+  bench_s2 story in raw numbers).
+* ``portfolio``   — the refiner portfolio on the divergent corpus: per
+  program the single-refiner baselines and the round-robin portfolio's
+  verdict, winner, per-arm statuses and total cost (the bench_e9
+  complementarity story in raw numbers).
+* ``session``     — warm-started vs cold suite batches through the session
   API: total and per-program abstract-post reductions bought by precision
   transfer (the bench_e10 story in raw numbers).
 
 Usage::
 
-    python benchmarks/run_all.py                  # full run, writes BENCH_pr4.json
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr5.json
     python benchmarks/run_all.py --skip-pytest    # direct sections only (fast)
     python benchmarks/run_all.py -o out.json
 """
@@ -122,8 +127,17 @@ def run_engine_section() -> list[dict]:
                 "post_decisions": result.post_decisions(),
                 "nodes_created": result.engine_stats.get("nodes_created", 0),
                 "nodes_reused": result.engine_stats.get("nodes_reused", 0),
-                "solver_calls": solver.get("sat_queries", 0),
+                # Solver-level decisions: cold check_sat queries plus
+                # assumption checks inside the batched oracle's contexts
+                # (pre-batching snapshots only have the first term, so the
+                # sum is the comparable trajectory number).
+                "solver_calls": (
+                    solver.get("sat_queries", 0) + solver.get("context_checks", 0)
+                ),
                 "triple_checks": solver.get("triple_checks", 0),
+                "prepare_calls": solver.get("prepare_calls", 0),
+                "context_reuses": solver.get("context_reuses", 0),
+                "ssa_translations": solver.get("ssa_translations", 0),
             }
         restart_posts = row["restart"]["post_decisions"]
         if restart_posts:
@@ -141,6 +155,74 @@ def run_engine_section() -> list[dict]:
             f"reduction={row.get('post_decision_reduction', 0):7.2%}"
         )
     return records
+
+
+def run_post_oracle_section() -> dict:
+    """Batched vs scalar abstract-post oracle over the engine suite.
+
+    The scalar oracle re-runs the whole pipeline (``ssa_translate`` through a
+    cold ``check_sat``) per predicate; the batched one prepares each edge
+    once and reuses its solver context.  Wall seconds and translation counts
+    per program, plus suite totals — the bench_s2 regression bar (>= 2x
+    fewer translations) in trajectory form.
+    """
+    from repro.core.engine import Budget, VerificationEngine
+    from repro.lang import get_program
+    from repro.smt.vcgen import VcChecker
+
+    per_program = []
+    totals = {"batched": [0.0, 0], "scalar": [0.0, 0]}  # seconds, translations
+    for name, max_refinements in ENGINE_PROGRAMS:
+        row = {"program": name}
+        for batched, label in ((True, "batched"), (False, "scalar")):
+            checker = VcChecker(batched_posts=batched)
+            engine = VerificationEngine(
+                get_program(name), checker=checker,
+                budget=Budget(max_refinements=max_refinements),
+            )
+            started = time.perf_counter()
+            result = engine.run()
+            seconds = time.perf_counter() - started
+            stats = checker.statistics()
+            row[label] = {
+                "verdict": result.verdict,
+                "seconds": round(seconds, 4),
+                "ssa_translations": stats["ssa_translations"],
+                "prepare_calls": stats["prepare_calls"],
+                "context_reuses": stats["context_reuses"],
+                "scalar_fallbacks": stats["scalar_fallbacks"],
+            }
+            totals[label][0] += seconds
+            totals[label][1] += stats["ssa_translations"]
+        row["verdicts_agree"] = row["batched"]["verdict"] == row["scalar"]["verdict"]
+        row["translation_reduction"] = round(
+            row["scalar"]["ssa_translations"]
+            / max(row["batched"]["ssa_translations"], 1), 2
+        )
+        per_program.append(row)
+        print(
+            f"  {name:18s} batched={row['batched']['seconds']:7.3f}s/"
+            f"{row['batched']['ssa_translations']:4d}tr "
+            f"scalar={row['scalar']['seconds']:7.3f}s/"
+            f"{row['scalar']['ssa_translations']:4d}tr "
+            f"({row['translation_reduction']}x fewer translations)"
+        )
+    section = {
+        "programs": per_program,
+        "batched_seconds": round(totals["batched"][0], 4),
+        "scalar_seconds": round(totals["scalar"][0], 4),
+        "batched_translations": totals["batched"][1],
+        "scalar_translations": totals["scalar"][1],
+        "translation_reduction": round(
+            totals["scalar"][1] / max(totals["batched"][1], 1), 2
+        ),
+    }
+    print(
+        f"  total: batched={section['batched_seconds']}s "
+        f"scalar={section['scalar_seconds']}s, "
+        f"{section['translation_reduction']}x fewer ssa translations"
+    )
+    return section
 
 
 #: The portfolio section's corpus: the divergent programs (path-formula
@@ -240,8 +322,8 @@ def run_session_section() -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr4.json"),
-        help="where to write the JSON report (default: repo root BENCH_pr4.json)",
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr5.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr5.json)",
     )
     parser.add_argument(
         "--skip-pytest", action="store_true",
@@ -253,6 +335,8 @@ def main(argv=None) -> int:
     report: dict = {"suite": "bench_e*", "sections": {}}
     print("engine section (incremental vs restart):")
     report["sections"]["engine"] = run_engine_section()
+    print("post-oracle section (batched vs scalar abstract posts):")
+    report["sections"]["post_oracle"] = run_post_oracle_section()
     print("portfolio section (refiner complementarity):")
     report["sections"]["portfolio"] = run_portfolio_section()
     print("session section (warm-start precision transfer):")

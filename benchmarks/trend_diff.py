@@ -4,13 +4,21 @@
 Each PR's benchmark run (``benchmarks/run_all.py``) leaves a ``BENCH_prN.json``
 snapshot in the repository root.  This script compares the *engine* sections
 of the two newest snapshots program by program and exits non-zero when any
-shared program's abstract-post-decision count regressed by more than the
-threshold (default 25%) in either engine mode — the automated bench-trend
-check the ROADMAP asks for.
+shared program regressed beyond a metric's threshold in either engine mode —
+the automated bench-trend check the ROADMAP asks for.
 
-Post decisions are the deliberate metric: they are deterministic (no
-wall-clock noise on shared CI runners) and they are the work the incremental
-engine exists to avoid.
+Three metrics are diffed:
+
+* ``post_decisions`` (default bar 25%, **failing**) — deterministic (no
+  wall-clock noise on shared CI runners) and the work the incremental
+  engine exists to avoid;
+* ``solver_calls`` (default bar 25%, **failing**) — solver-level decisions
+  (cold ``check_sat`` queries plus batched-oracle context checks), the work
+  the solver-layer caching and batching exist to avoid;
+* ``seconds`` (default bar 60%, **advisory**) — wall clock is noisy on CI
+  runners, so a regression prints a loud warning but does not fail; it
+  exists to catch order-of-magnitude slowdowns the deterministic counters
+  cannot see (e.g. constant-factor blowups per decision).
 
 Usage::
 
@@ -29,8 +37,15 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Engine modes whose post-decision counts are trend-checked.
+#: Engine modes whose metrics are trend-checked.
 MODES = ("incremental", "restart")
+
+#: (metric key, threshold argparse attr, failing?) — the diffed metrics.
+METRICS = (
+    ("post_decisions", "threshold", True),
+    ("solver_calls", "solver_threshold", True),
+    ("seconds", "seconds_threshold", False),
+)
 
 
 def bench_files(directory: Path) -> list[Path]:
@@ -59,34 +74,52 @@ def engine_rows(path: Path) -> dict[str, dict]:
     return {row["program"]: row for row in rows if "program" in row}
 
 
-def diff(old: Path, new: Path, threshold: float) -> list[str]:
-    """Human-readable regression lines (empty when the trend is clean)."""
+def diff(
+    old: Path, new: Path, thresholds: dict[str, float]
+) -> tuple[list[str], list[str]]:
+    """``(regressions, warnings)`` lines (both empty when the trend is clean)."""
     old_rows, new_rows = engine_rows(old), engine_rows(new)
     shared = sorted(set(old_rows) & set(new_rows))
     if not shared:
         print(f"note: {old.name} and {new.name} share no engine programs")
-        return []
-    regressions = []
-    print(f"{'program':20s} {'mode':12s} {old.name:>16s} {new.name:>16s}  change")
+        return [], []
+    regressions: list[str] = []
+    warnings: list[str] = []
+    print(
+        f"{'program':20s} {'mode':12s} {'metric':15s} "
+        f"{old.name:>14s} {new.name:>14s}  change"
+    )
     for program in shared:
         for mode in MODES:
-            before = old_rows[program].get(mode, {}).get("post_decisions")
-            after = new_rows[program].get(mode, {}).get("post_decisions")
-            if not before or after is None:
-                continue
-            change = after / before - 1
-            marker = ""
-            if change > threshold:
-                marker = "  REGRESSION"
-                regressions.append(
-                    f"{program} [{mode}]: {before} -> {after} posts "
-                    f"({change:+.1%} > {threshold:.0%} threshold)"
+            for metric, attr, failing in METRICS:
+                before = old_rows[program].get(mode, {}).get(metric)
+                after = new_rows[program].get(mode, {}).get(metric)
+                if not before or after is None:
+                    continue
+                threshold = thresholds[attr]
+                change = after / before - 1
+                marker = ""
+                if change > threshold:
+                    line = (
+                        f"{program} [{mode}] {metric}: {before} -> {after} "
+                        f"({change:+.1%} > {threshold:.0%} threshold)"
+                    )
+                    if failing:
+                        marker = "  REGRESSION"
+                        regressions.append(line)
+                    else:
+                        marker = "  WARNING (advisory)"
+                        warnings.append(line)
+                rendered = (
+                    (f"{before:14.3f}", f"{after:14.3f}")
+                    if isinstance(before, float) or isinstance(after, float)
+                    else (f"{before:14d}", f"{after:14d}")
                 )
-            print(
-                f"{program:20s} {mode:12s} {before:16d} {after:16d}  "
-                f"{change:+7.1%}{marker}"
-            )
-    return regressions
+                print(
+                    f"{program:20s} {mode:12s} {metric:15s} "
+                    f"{rendered[0]} {rendered[1]}  {change:+7.1%}{marker}"
+                )
+    return regressions, warnings
 
 
 def main(argv=None) -> int:
@@ -99,6 +132,15 @@ def main(argv=None) -> int:
         "--threshold", type=float, default=0.25, metavar="FRACTION",
         help="maximum tolerated post-decision growth per program (default: 0.25)",
     )
+    parser.add_argument(
+        "--solver-threshold", type=float, default=0.25, metavar="FRACTION",
+        help="maximum tolerated solver-call growth per program (default: 0.25)",
+    )
+    parser.add_argument(
+        "--seconds-threshold", type=float, default=0.60, metavar="FRACTION",
+        help="advisory wall-clock growth bar per program — prints a warning, "
+        "never fails (default: 0.60)",
+    )
     args = parser.parse_args(argv)
 
     files = bench_files(Path(args.dir))
@@ -109,9 +151,18 @@ def main(argv=None) -> int:
         )
         return 0
     old, new = files[-2], files[-1]
-    regressions = diff(old, new, args.threshold)
+    thresholds = {
+        "threshold": args.threshold,
+        "solver_threshold": args.solver_threshold,
+        "seconds_threshold": args.seconds_threshold,
+    }
+    regressions, warnings = diff(old, new, thresholds)
+    if warnings:
+        print(f"\n{len(warnings)} advisory wall-clock warning(s):", file=sys.stderr)
+        for line in warnings:
+            print(f"  {line}", file=sys.stderr)
     if regressions:
-        print(f"\n{len(regressions)} post-decision regression(s):", file=sys.stderr)
+        print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1

@@ -98,6 +98,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="do not seed repeated programs from previously discovered "
         "precisions (batch mode runs every task cold)",
     )
+    parser.add_argument(
+        "--precision-store", metavar="PATH", default=None,
+        help="disk-backed precision bank: load discovered predicates from "
+        "PATH at startup and save new ones back (atomic write), so warm "
+        "starts survive across invocations",
+    )
 
 
 #: CLI flag attribute -> VerifierOptions field, for value-bearing flags.
@@ -147,7 +153,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     try:
         name, source = _load_source(args.target)
         options = _resolve_options(args)
-        session = Session(options)
+        session = Session(options, store_path=args.precision_store)
         task = session.task(source, name=name)
         # Parse eagerly inside the handler: a malformed file (ParseError is
         # a ValueError) and a wrong-typed --options value (TypeError) are
@@ -201,8 +207,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
     # One session for the whole batch: shared checker memo, and repeated
-    # targets warm-start from the precisions earlier tasks discovered.
-    session = Session(options)
+    # targets warm-start from the precisions earlier tasks discovered (and,
+    # with --precision-store, from what previous invocations discovered).
+    try:
+        session = Session(options, store_path=args.precision_store)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
     results = session.run_many(tasks, jobs=args.jobs)
     payload = {
         "schema_version": RESULT_SCHEMA_VERSION,

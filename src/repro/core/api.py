@@ -44,6 +44,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import pickle
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -81,11 +82,14 @@ __all__ = [
 def program_fingerprint(program: Program) -> str:
     """A stable identity of a transition system, portable across processes.
 
-    Two parses of the same source yield the same fingerprint (the CFG
-    builder is deterministic and the rendering below covers every semantic
-    component), which is what lets a :class:`PrecisionStore` recognise a
-    program it has seen before — in another task, another session epoch, or
-    another process.
+    Two parses of the same source yield the same fingerprint, which is what
+    lets a :class:`PrecisionStore` recognise a program it has seen before —
+    in another task, another session epoch, or another process.  The
+    transitions are hashed in *sorted rendering order*: the CFG builder
+    emits them in an order that varies with Python's per-process hash seed,
+    so the raw list order would break exactly the cross-process recognition
+    a disk-backed store exists for.  Location names and the rendering itself
+    are deterministic.
     """
     digest = hashlib.sha256()
     digest.update(program.name.encode())
@@ -93,8 +97,8 @@ def program_fingerprint(program: Program) -> str:
     digest.update(b"|a:" + ",".join(program.arrays).encode())
     digest.update(b"|i:" + program.initial.name.encode())
     digest.update(b"|e:" + program.error.name.encode())
-    for transition in program.transitions:
-        digest.update(b"|t:" + str(transition).encode())
+    for rendered in sorted(str(transition) for transition in program.transitions):
+        digest.update(b"|t:" + rendered.encode())
     return digest.hexdigest()[:16]
 
 
@@ -144,6 +148,11 @@ class VerifierOptions:
     #: refine the abstraction); it removes refinement rounds already paid
     #: for.
     warm_start: bool = True
+    #: Cap on entries of the shared :class:`~repro.smt.vcgen.VcChecker`'s
+    #: memo tables (triple/edge/post verdicts and prepared solver contexts),
+    #: evicted least-recently-used.  ``None`` (the default) keeps the
+    #: historical unbounded growth; set it for long-lived service sessions.
+    max_cache_entries: Optional[int] = None
 
     def __post_init__(self) -> None:
         from .verifier import ENGINE_REFINER_NAMES, REFINER_NAMES
@@ -200,6 +209,10 @@ class VerifierOptions:
             raise ValueError(
                 "max_predicates_per_location must be >= 1 or None, "
                 f"got {self.max_predicates_per_location}"
+            )
+        if self.max_cache_entries is not None and self.max_cache_entries < 1:
+            raise ValueError(
+                f"max_cache_entries must be >= 1 or None, got {self.max_cache_entries}"
             )
 
     # ------------------------------------------------------------------
@@ -351,13 +364,65 @@ class PrecisionStore:
 
     Internally location-*name* indexed (names are stable across parses and
     processes, unlike :class:`~repro.lang.cfg.Location` identities), merging
-    monotonically: re-verifying a program only ever adds predicates.  The
-    store is in-memory and in-process; payloads themselves are picklable, so
-    a session can ship them into pool workers and merge what comes back.
+    monotonically: re-verifying a program only ever adds predicates.
+    Payloads are picklable, so a session can ship them into pool workers and
+    merge what comes back — and, with ``path`` set, the whole map survives
+    *process lifetimes*: the store loads (merges) the file's contents at
+    construction and :meth:`save` writes them back atomically (a temp file
+    in the same directory, then ``os.replace``), so a service restart or a
+    later CI shard warm-starts from everything earlier runs discovered.
+    Formulas pickle via ``__reduce__`` and re-intern on load.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
         self._store: dict[str, dict[str, set[Formula]]] = {}
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    # ------------------------------------------------------------------
+    # Disk persistence
+    # ------------------------------------------------------------------
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge a saved store file into this one; returns predicates added.
+
+        Loading *merges* (monotonically, like everything else here) rather
+        than replacing, so a store can aggregate several files.
+        """
+        with open(path, "rb") as handle:
+            try:
+                payload = pickle.load(handle)
+            except Exception as error:
+                raise ValueError(
+                    f"{path}: not a precision-store file ({error!r})"
+                ) from error
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: not a precision-store file")
+        added = 0
+        for fingerprint, by_name in payload.items():
+            added += self.merge(fingerprint, by_name)
+        return added
+
+    def save(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Atomically write the store to ``path`` (default: its own ``path``)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no path: pass save(path) or construct with path=")
+        payload = {
+            fingerprint: self.payload(fingerprint)
+            for fingerprint in self.fingerprints()
+            if self.payload(fingerprint)
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+        try:
+            with open(temp, "wb") as handle:
+                pickle.dump(payload, handle)
+            os.replace(temp, target)
+        finally:
+            if temp.exists():  # only on a failed dump; os.replace consumed it
+                temp.unlink()
+        return target
 
     # ------------------------------------------------------------------
     def merge(
@@ -442,10 +507,24 @@ class Session:
         options: Optional[VerifierOptions] = None,
         checker: Optional[VcChecker] = None,
         store: Optional[PrecisionStore] = None,
+        store_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.options = options or VerifierOptions()
-        self.checker = checker or VcChecker()
-        self.store = store or PrecisionStore()
+        if checker is None:
+            checker = VcChecker(max_cache_entries=self.options.max_cache_entries)
+        elif self.options.max_cache_entries is not None:
+            # An explicitly set cap applies to a caller-supplied checker too
+            # (matching the pool-worker path); an unset option leaves an
+            # externally configured cap alone.
+            checker.max_cache_entries = self.options.max_cache_entries
+        self.checker = checker
+        if store is not None and store_path is not None:
+            raise ValueError("pass either store= or store_path=, not both")
+        #: With ``store_path`` the precision bank is disk-backed: existing
+        #: contents are merged in at construction and every newly banked
+        #: predicate triggers an atomic re-save, so warm starts survive a
+        #: process restart (see :class:`PrecisionStore`).
+        self.store = store if store is not None else PrecisionStore(path=store_path)
         #: Scheduler counters: tasks run, warm starts granted, precisions
         #: banked (see :meth:`statistics`).
         self.tasks_run = 0
@@ -526,10 +605,14 @@ class Session:
         An undecided run's precision is dominated by whatever made it
         diverge (e.g. the path-formula flood); seeding from it would make
         later runs *slower*.  One definition shared by the in-process and
-        pool paths, so both bank under exactly the same rule.
+        pool paths, so both bank under exactly the same rule.  A disk-backed
+        store is re-saved whenever banking actually added predicates.
         """
         if payload and verdict in (Verdict.SAFE, Verdict.UNSAFE):
-            self.predicates_banked += self.store.merge(fingerprint, payload)
+            added = self.store.merge(fingerprint, payload)
+            self.predicates_banked += added
+            if added and self.store.path is not None:
+                self.store.save()
 
     @staticmethod
     def _provenance(fingerprint: str, warm: bool, seeded: int) -> dict[str, Any]:
@@ -636,6 +719,7 @@ class Session:
                         "budget": vars(opts.budget()),
                         "incremental": opts.incremental,
                         "max_predicates_per_location": opts.max_predicates_per_location,
+                        "max_cache_entries": opts.max_cache_entries,
                         "portfolio_refiners": list(opts.portfolio_refiners),
                         "slice_refinements": opts.slice_refinements,
                         "slice_seconds": opts.slice_seconds,

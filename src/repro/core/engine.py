@@ -204,6 +204,14 @@ class Result:
                 f"{stats.get('splits', 0)} splits, "
                 f"{stats.get('triple_cache_hits', 0)} triple cache hits"
             )
+            if stats.get("prepare_calls") or stats.get("context_checks"):
+                lines.append(
+                    "post oracle:  "
+                    f"{stats.get('prepare_calls', 0)} edges prepared, "
+                    f"{stats.get('context_reuses', 0)} context reuses, "
+                    f"{stats.get('batched_posts', 0)} batched checks, "
+                    f"{stats.get('scalar_fallbacks', 0)} scalar fallbacks"
+                )
         if self.reason:
             lines.append(f"reason:       {self.reason}")
         return "\n".join(lines)
@@ -1151,6 +1159,7 @@ def _run_batch_task(payload: dict[str, Any]) -> dict[str, Any]:
                 portfolio.initial_precision = Precision.from_location_names(
                     portfolio.program, payload["seed"], cap
                 )
+            portfolio.checker.max_cache_entries = payload.get("max_cache_entries")
             result = portfolio.run()
         else:
             engine = VerificationEngine(
@@ -1160,6 +1169,7 @@ def _run_batch_task(payload: dict[str, Any]) -> dict[str, Any]:
                 incremental=payload["incremental"],
                 max_predicates_per_location=cap,
             )
+            engine.checker.max_cache_entries = payload.get("max_cache_entries")
             # The refiner needs the engine's checker; build it here rather
             # than shipping one over.
             from .verifier import make_refiner

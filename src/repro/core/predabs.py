@@ -556,6 +556,7 @@ class Art:
             predicates = precision.predicates_at(transition.target)
         written: Optional[set[str]] = None
         successors: set[Formula] = set()
+        undecided: list[Formula] = []
         for predicate in predicates:
             # Frame rule shortcut: a predicate that already holds and whose
             # variables/arrays are untouched by the transition keeps holding.
@@ -568,9 +569,16 @@ class Art:
                 if not touched & written:
                     successors.add(predicate)
                     continue
-            self.post_decisions += 1
-            if self.checker.post_predicate_holds(state, transition, predicate):
-                successors.add(predicate)
+            undecided.append(predicate)
+        if undecided:
+            # One batched query for the whole edge: the checker answers memo
+            # hits from the post cache and decides the rest inside a single
+            # incremental solver context (the edge is translated and its
+            # ``pre ∧ trans`` core asserted once, each predicate costing one
+            # push/check/pop of its negated renamed form).
+            self.post_decisions += len(undecided)
+            verdicts = self.checker.post_all_predicates(state, transition, undecided)
+            successors.update(p for p, holds in verdicts.items() if holds)
         return frozenset(successors)
 
     def _find_cover(

@@ -147,7 +147,14 @@ def integer_feasible(
 
 
 class LraSolver:
-    """Satisfiability of conjunctions of linear atoms over scalar variables."""
+    """Satisfiability of conjunctions of linear atoms over scalar variables.
+
+    One persistent :class:`IncrementalSimplex` serves every query: each
+    :meth:`check` runs inside a ``push``/``pop`` scope, so the slack-variable
+    interning and the tableau rows built for one conjunction are reused by
+    the next (re-asserting a previously seen linear form is a dictionary
+    lookup instead of a row construction).
+    """
 
     def __init__(self, integer_mode: bool = True, bb_limit: int = 40) -> None:
         self.integer_mode = integer_mode
@@ -156,6 +163,7 @@ class LraSolver:
         self.num_checks = 0
         #: Underlying simplex feasibility checks (branch-and-bound included).
         self.num_simplex_checks = 0
+        self._simplex = IncrementalSimplex()
 
     # ------------------------------------------------------------------
     # Public API
@@ -167,13 +175,16 @@ class LraSolver:
         and non-strict inequalities are accepted.
         """
         self.num_checks += 1
-        simplex = IncrementalSimplex()
+        simplex = self._simplex
+        checks_before = simplex.num_checks
+        simplex.push()
         try:
             if not assert_atoms(simplex, atoms, self.integer_mode):
                 return LraResult(False)
             return integer_feasible(simplex, self.bb_limit, self.integer_mode)
         finally:
-            self.num_simplex_checks += simplex.num_checks
+            self.num_simplex_checks += simplex.num_checks - checks_before
+            simplex.pop()
 
     def entails(self, antecedent: Sequence[Atom], consequent: Atom) -> bool:
         """Does the conjunction of ``antecedent`` imply ``consequent``?

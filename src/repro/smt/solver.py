@@ -22,6 +22,15 @@ Solved queries are memoised in a normalised-query cache keyed on the interned
 same verification conditions across abstract-reachability rounds — are
 answered without touching the theory solver.
 
+For query *families* that share a common core — the abstract-post oracle asks
+"does predicate p hold after this edge?" for every precision predicate
+against one ``(state, transition)`` pair — :meth:`SmtSolver.context` opens a
+:class:`SolverContext`: the core is asserted **once** into a persistent
+constraint store, and each family member is decided by scoping only its own
+(usually single-literal) assumption with ``push``/``pop``.  The simplex
+tableau, the asserted-literal set used for syntactic propagation, and the
+read-flattening tables all survive across the family's checks.
+
 The solver answers three kinds of queries used throughout the library:
 satisfiability (with a witness model), entailment between formulas, and
 equivalence.  Quantified formulas must be pre-processed by
@@ -43,6 +52,7 @@ from ..logic.formulas import (
     Not,
     Or,
     Relation,
+    TRUE,
     conjoin,
     eq,
     negate,
@@ -54,7 +64,7 @@ from .arrays import CubeSolver, find_functionality_violation, flatten_reads
 from .lra import LraSolver, assert_atoms, integer_feasible
 from .simplex import IncrementalSimplex
 
-__all__ = ["SmtSolver", "SatResult", "SolverStats"]
+__all__ = ["SmtSolver", "SatResult", "SolverStats", "SolverContext"]
 
 
 @dataclass
@@ -87,6 +97,10 @@ class SolverStats:
     #: lookaheads, branch-and-bound and functionality loops — the honest
     #: "theory solver call" count.
     simplex_checks: int = 0
+    #: assumption checks answered inside a :class:`SolverContext` (each is
+    #: one solver-level decision, like a ``check_sat`` call, but over a
+    #: shared asserted core instead of a from-scratch store).
+    context_checks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -97,6 +111,7 @@ class SolverStats:
             "functionality_splits": self.functionality_splits,
             "cache_hits": self.cache_hits,
             "simplex_checks": self.simplex_checks,
+            "context_checks": self.context_checks,
         }
 
 
@@ -382,6 +397,93 @@ def _decompose(formula: Formula, units: list[Atom], disjunctions: list[Or]) -> b
     raise ValueError(f"unexpected formula in lazy split: {formula!r}")
 
 
+class SolverContext:
+    """An incremental assumption-context over one persistent constraint store.
+
+    Created by :meth:`SmtSolver.context`.  :meth:`assert_base` installs
+    formulas *permanently* — the shared core of a query family — by asserting
+    their unit literals into the context's :class:`IncrementalSimplex` (no
+    enclosing push, so the bounds survive every later backtrack) and parking
+    their disjunctions.  :meth:`check` then decides ``base ∧ assumption``:
+    the assumption's units are asserted inside a ``push``/``pop`` scope of
+    the *same* store, so sibling checks share the tableau, the slack-variable
+    interning, the asserted-literal set used for syntactic propagation, and
+    the read-flattening tables.  This is the query shape of the batched
+    abstract-post oracle (one core, many negated predicates) and the reason
+    it beats one cold :meth:`SmtSolver.check_sat` per predicate.
+
+    Inputs must be quantifier-free and in the solver's literal discipline
+    after normalisation (the context normalises with the solver's shared
+    simplify+NNF memo); quantified obligations go through
+    :mod:`repro.smt.vcgen` instead.
+    """
+
+    def __init__(self, solver: "SmtSolver") -> None:
+        self._solver = solver
+        self._search = _LazySearch(solver.integer_mode, solver.bb_limit, solver.stats)
+        #: disjunctions of the asserted base, replayed into every check.
+        self._base_disjunctions: list[Or] = []
+        self._seen: set[Or] = set()
+        #: True once the base itself is unsatisfiable — every later check is
+        #: answered False without touching the store.
+        self._base_failed = False
+        self.num_checks = 0
+
+    @property
+    def base_failed(self) -> bool:
+        return self._base_failed
+
+    def assert_base(self, formula: Formula) -> bool:
+        """Permanently assert ``formula``; False when the base became unsat."""
+        if self._base_failed:
+            return False
+        normalised = self._solver._normalise(formula)
+        units: list[Atom] = []
+        disjunctions: list[Or] = []
+        if not _decompose(normalised, units, disjunctions):
+            self._base_failed = True
+            return False
+        for disjunction in disjunctions:
+            if disjunction not in self._seen:
+                self._seen.add(disjunction)
+                self._base_disjunctions.append(disjunction)
+        # No push around the base: these bounds (and any lazy NE splits,
+        # appended to the base disjunctions) are the permanent floor every
+        # check's push/pop scope sits on.
+        if not self._search._assert_units(units, self._base_disjunctions, self._seen):
+            self._base_failed = True
+            return False
+        return True
+
+    def check(self, assumption: Formula = TRUE) -> SatResult:
+        """Satisfiability of ``base ∧ assumption`` (assumption scoped to this call)."""
+        self.num_checks += 1
+        stats = self._solver.stats
+        stats.context_checks += 1
+        if self._base_failed:
+            return SatResult(False)
+        normalised = self._solver._normalise(assumption)
+        units: list[Atom] = []
+        disjunctions: list[Or] = []
+        if not _decompose(normalised, units, disjunctions):
+            return SatResult(False)
+        simplex = self._search.simplex
+        before = simplex.num_checks + simplex.num_assert_conflicts
+        try:
+            result = self._search._solve(
+                units, self._base_disjunctions + disjunctions
+            )
+        finally:
+            stats.simplex_checks += (
+                simplex.num_checks + simplex.num_assert_conflicts - before
+            )
+        model = dict(result.model) if result.model is not None else None
+        return SatResult(result.satisfiable, model, result.approximate)
+
+    def is_unsat(self, assumption: Formula = TRUE) -> bool:
+        return not self.check(assumption).satisfiable
+
+
 class SmtSolver:
     """Quantifier-free LIA/LRA + array-read solver with statistics.
 
@@ -399,11 +501,25 @@ class SmtSolver:
         self.cube_solver = CubeSolver(self.lra)
         self.num_sat_queries = 0
         self.num_entailment_queries = 0
+        self.num_contexts = 0
         self.stats = SolverStats()
         self._sat_cache: dict[Formula, SatResult] = {}
         #: raw interned formula -> its normalised (simplify + NNF) form, so
         #: repeat queries skip the two formula-tree walks entirely.
         self._normal_form: dict[Formula, Formula] = {}
+
+    def _normalise(self, formula: Formula) -> Formula:
+        """The memoised simplify+NNF pass shared with :class:`SolverContext`."""
+        normalised = self._normal_form.get(formula)
+        if normalised is None:
+            normalised = to_nnf(simplify(formula))
+            self._normal_form[formula] = normalised
+        return normalised
+
+    def context(self) -> SolverContext:
+        """Open a fresh incremental assumption-context (see :class:`SolverContext`)."""
+        self.num_contexts += 1
+        return SolverContext(self)
 
     # ------------------------------------------------------------------
     def check_sat(self, formula: Formula) -> SatResult:
@@ -414,10 +530,7 @@ class SmtSolver:
                 "use repro.smt.vcgen for quantified obligations"
             )
         self.num_sat_queries += 1
-        normalised = self._normal_form.get(formula)
-        if normalised is None:
-            normalised = to_nnf(simplify(formula))
-            self._normal_form[formula] = normalised
+        normalised = self._normalise(formula)
         cached = self._sat_cache.get(normalised)
         if cached is not None:
             self.stats.cache_hits += 1
@@ -493,4 +606,5 @@ class SmtSolver:
         """Cache and split statistics (for logging and benchmarks)."""
         info = self.stats.as_dict()
         info["cached_queries"] = len(self._sat_cache)
+        info["contexts_created"] = self.num_contexts
         return info

@@ -12,7 +12,7 @@ case splitting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from ..lang.commands import ArrayAssign, Assign, Assume, Command, Havoc, Skip
 from ..logic.formulas import Formula, conjoin, eq
@@ -45,10 +45,16 @@ class SsaTranslation:
     var_versions: dict[str, int] = field(default_factory=dict)
     #: Final version of every array symbol seen.
     array_versions: dict[str, int] = field(default_factory=dict)
+    #: Cached :meth:`formula` result.  A translation is immutable once built,
+    #: and the batched post oracle asks for the conjunction once per
+    #: predicate of an edge — building it once per translation instead.
+    _formula: Optional[Formula] = field(default=None, repr=False, compare=False)
 
     def formula(self) -> Formula:
-        """The conjunction of all SSA constraints (stores excluded)."""
-        return conjoin([constraint for _, constraint in self.constraints])
+        """The conjunction of all SSA constraints (stores excluded, cached)."""
+        if self._formula is None:
+            self._formula = conjoin([constraint for _, constraint in self.constraints])
+        return self._formula
 
     def initial_renaming(self, names: Iterable[str], arrays: Iterable[str]) -> dict[str, str]:
         renaming = {name: versioned(name, 0) for name in names}

@@ -11,31 +11,60 @@ semantic questions about straight-line code:
 * ``check_entailment(lhs, rhs)`` — implication between two state formulas
   (used by predicate abstraction for covering checks),
 * ``edge_feasible(state, transition)`` / ``post_predicate_holds(state,
-  transition, predicate)`` — the abstract-post oracle used by the (persistent)
-  abstract reachability tree, memoised on ``(source-state, transition[,
-  predicate])`` so that re-expanding an untouched ART region after a
-  refinement is pure cache hits.
+  transition, predicate)`` / ``post_all_predicates(state, transition,
+  predicates)`` — the abstract-post oracle used by the (persistent) abstract
+  reachability tree, memoised on ``(source-state, transition[, predicate])``
+  so that re-expanding an untouched ART region after a refinement is pure
+  cache hits.
 
 Both ``pre`` and ``post`` may contain universally quantified conjuncts of the
 array-property fragment.  The pipeline follows Section 4.2 of the paper:
 skolemise the negated post-condition, resolve array writes by read-over-write
 case splits, instantiate quantified hypotheses at the read index terms, and
 discharge the resulting quantifier-free obligation with the SMT solver.
+
+The batched abstract-post oracle
+--------------------------------
+
+An ART expansion asks *every* precision predicate of the target location
+against the same ``(state, transition)`` pair.  The scalar oracle pays the
+full pipeline — ``ssa_translate``, renaming, skolemisation, store resolution
+and a cold ``check_sat`` — once **per predicate**.  The batched oracle
+prepares the edge once and decides the whole family inside one incremental
+solver context::
+
+    (state, transition)  ──prepare once──►  core = pre_ssa ∧ trans_ssa
+                                            │  skolemise + resolve stores
+                                            │  assert into SolverContext
+                                            ▼
+    p₁, p₂, …, pₙ        ──per predicate──► push ¬pᵢ' / check / pop
+                                            (shared tableau, shared unit
+                                             store, shared read flattening)
+
+The prepared core (SSA translation + solver context) is memoised per
+``(state, transition)`` in an LRU-bounded table, so the delta-recheck wave
+after a refinement — which re-asks the *same* edge about the newly added
+predicates — reuses the context instead of re-preparing (counted in
+``context_reuses``).  Memo-hit predicates are answered from the post cache
+before any context is built; edges or predicates with quantifiers fall back
+to the scalar pipeline, whose verdicts the context path matches exactly
+(``post_predicate_holds`` is kept as the differential oracle).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..lang.commands import Command
 from ..logic.formulas import FALSE, Formula, TRUE, conjoin, negate
 from ..logic.terms import Var
-from ..logic.transform import FreshNames
+from ..logic.transform import FreshNames, quantifier_free
 from .arrays import resolve_stores
 from .quant import instantiate_positive, skolemize_negative
-from .solver import SatResult, SmtSolver
+from .solver import SatResult, SmtSolver, SolverContext
 from .ssa import SsaTranslation, rename_to_versions, ssa_translate
 
 __all__ = ["VcChecker", "PathFeasibility"]
@@ -50,12 +79,65 @@ class PathFeasibility:
     approximate: bool = False
 
 
-class VcChecker:
-    """Checks Hoare triples, path feasibility and entailments."""
+@dataclass
+class _PreparedEdge:
+    """The once-per-``(state, transition)`` core of the batched post oracle."""
 
-    def __init__(self, integer_mode: bool = True, bb_limit: int = 40) -> None:
+    translation: SsaTranslation
+    pre_ssa: Formula
+    #: ``pre_ssa ∧ trans_ssa`` after skolemisation and store resolution (not
+    #: yet instantiated: hypothesis instantiation is per-predicate, because
+    #: the predicate contributes instantiation terms).
+    core: Formula
+    #: True when the resolved core still contains a quantifier — the context
+    #: path cannot host it, so every predicate falls back to the scalar
+    #: pipeline (which instantiates against the full obligation).
+    quantified: bool
+    #: The incremental solver context with the core asserted; ``None`` for
+    #: quantified cores.
+    context: Optional[SolverContext]
+    #: True when the core itself is unsatisfiable: the edge cannot fire and
+    #: every predicate trivially holds after it.
+    base_failed: bool
+
+
+class VcChecker:
+    """Checks Hoare triples, path feasibility, entailments and abstract posts.
+
+    ``max_cache_entries`` optionally bounds the checker-level memo tables
+    (triple, edge, post and prepared-edge caches) with least-recently-used
+    eviction, so a long-lived :class:`~repro.core.api.Session` sharing one
+    checker across many tasks cannot grow without bound.  ``None`` (the
+    default) keeps the verdict caches unbounded; the prepared-edge table is
+    *always* capped (at ``max_cache_entries`` when set, else
+    ``PREPARED_EDGE_CAP``) because each entry pins a live solver context —
+    a simplex tableau, not a boolean.
+    """
+
+    #: Default LRU bound of the prepared-edge table when ``max_cache_entries``
+    #: is unset.  Far above any single run's distinct-edge count (the default
+    #: node budget is 4000), so eviction only kicks in for long sessions.
+    PREPARED_EDGE_CAP = 2048
+
+    def __init__(
+        self,
+        integer_mode: bool = True,
+        bb_limit: int = 40,
+        max_cache_entries: Optional[int] = None,
+        batched_posts: bool = True,
+    ) -> None:
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError(
+                f"max_cache_entries must be >= 1 or None, got {max_cache_entries}"
+            )
         self.solver = SmtSolver(integer_mode=integer_mode, bb_limit=bb_limit)
         self._fresh = FreshNames("vc")
+        self.max_cache_entries = max_cache_entries
+        #: Route batched post queries through the shared solver context.
+        #: ``False`` degrades :meth:`post_all_predicates` to one scalar
+        #: :meth:`post_predicate_holds` per predicate — the differential
+        #: baseline the batched path is tested and benchmarked against.
+        self.batched_posts = batched_posts
         self.num_triple_checks = 0
         self.num_feasibility_checks = 0
         self.cache_hits = 0
@@ -75,17 +157,75 @@ class VcChecker:
         self._edge_cache: dict[tuple, bool] = {}
         self._post_cache: dict[tuple, bool] = {}
         self._state_formulas: dict[frozenset, Formula] = {}
+        #: Prepared cores of the batched oracle, keyed like the edge cache.
+        #: Entries hold a live :class:`SolverContext` (a simplex tableau), so
+        #: this table is bounded even when the verdict caches are not: it
+        #: gets its own LRU cap, and eviction just means re-preparing the
+        #: edge if its batch ever recurs.
+        self._prepared_edges: dict[tuple, _PreparedEdge] = {}
         self.num_edge_queries = 0
         self.edge_cache_hits = 0
         self.num_post_queries = 0
         self.post_cache_hits = 0
+        #: Batched-oracle counters: cores prepared / served from the
+        #: prepared-edge cache, predicates decided inside a context vs
+        #: through the scalar fallback, and edges whose whole batch was
+        #: answered from the post cache (no context ever touched).
+        self.num_prepare_calls = 0
+        self.num_context_reuses = 0
+        self.num_batched_posts = 0
+        self.num_scalar_fallbacks = 0
+        self.num_batch_calls = 0
+        self.num_ssa_translations = 0
+        self.cache_evictions = 0
+        #: Per-phase wall clock of the batched oracle (seconds): edge
+        #: preparation (translate + skolemise + resolve + base assert) vs
+        #: per-predicate context checks.
+        self.prepare_seconds = 0.0
+        self.post_solve_seconds = 0.0
 
-    def statistics(self) -> dict[str, int]:
+    # ------------------------------------------------------------------
+    # LRU plumbing (active only when a cap applies: max_cache_entries for
+    # the verdict caches, always for the prepared-edge table)
+    # ------------------------------------------------------------------
+    @property
+    def _prepared_edge_cap(self) -> int:
+        # Tracks max_cache_entries dynamically: pool workers set the
+        # attribute after construction.
+        if self.max_cache_entries is not None:
+            return self.max_cache_entries
+        return self.PREPARED_EDGE_CAP
+
+    def _cache_get(self, cache: dict, key, cap: Optional[int] = None):
+        value = cache.get(key)
+        if value is None:
+            return None
+        if (cap if cap is not None else self.max_cache_entries) is not None:
+            # Python dicts iterate in insertion order; re-inserting marks the
+            # entry most-recently-used so eviction drops the coldest one.
+            del cache[key]
+            cache[key] = value
+        return value
+
+    def _cache_put(self, cache: dict, key, value, cap: Optional[int] = None) -> None:
+        cache[key] = value
+        cap = cap if cap is not None else self.max_cache_entries
+        if cap is not None and len(cache) > cap:
+            del cache[next(iter(cache))]
+            self.cache_evictions += 1
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, float]:
         """Counter snapshot across the checker and its solver.
 
-        Keys: ``triple_checks``, ``feasibility_checks``, ``triple_cache_hits``
-        plus the solver counters (``sat_queries``, ``entailment_queries``) and
-        the lazy-engine statistics from
+        Keys: ``triple_checks``, ``feasibility_checks``, ``triple_cache_hits``,
+        the abstract-post counters (``edge_queries``/``post_queries`` and
+        their cache hits), the batched-oracle counters (``prepare_calls``,
+        ``context_reuses``, ``batched_posts``, ``scalar_fallbacks``,
+        ``batch_calls``, ``ssa_translations``, ``cache_evictions``), the
+        per-phase timings (``prepare_seconds``, ``post_solve_seconds``) plus
+        the solver counters (``sat_queries``, ``entailment_queries``) and the
+        lazy-engine statistics from
         :meth:`~repro.smt.solver.SmtSolver.cache_info`.
         """
         stats = {
@@ -96,6 +236,15 @@ class VcChecker:
             "edge_cache_hits": self.edge_cache_hits,
             "post_queries": self.num_post_queries,
             "post_cache_hits": self.post_cache_hits,
+            "prepare_calls": self.num_prepare_calls,
+            "context_reuses": self.num_context_reuses,
+            "batched_posts": self.num_batched_posts,
+            "scalar_fallbacks": self.num_scalar_fallbacks,
+            "batch_calls": self.num_batch_calls,
+            "ssa_translations": self.num_ssa_translations,
+            "cache_evictions": self.cache_evictions,
+            "prepare_seconds": round(self.prepare_seconds, 6),
+            "post_solve_seconds": round(self.post_solve_seconds, 6),
             "sat_queries": self.solver.num_sat_queries,
             "entailment_queries": self.solver.num_entailment_queries,
         }
@@ -108,16 +257,19 @@ class VcChecker:
         Long-lived sessions (:class:`repro.core.api.Session`) share one
         checker across many tasks; these sizes are the memory-side of that
         bargain and feed :meth:`Session.statistics` so a service can watch
-        cache growth and decide when to recycle a session.
+        cache growth and decide when to recycle a session.  ``evictions``
+        counts entries dropped by the LRU cap (``max_cache_entries``).
         """
         return {
             "triple_cache": len(self._triple_cache),
             "edge_cache": len(self._edge_cache),
             "post_cache": len(self._post_cache),
             "state_formulas": len(self._state_formulas),
+            "prepared_edges": len(self._prepared_edges),
+            "evictions": self.cache_evictions,
         }
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, float]:
         """A frozen copy of :meth:`statistics`, for later delta computation.
 
         The portfolio layer snapshots the (shared) checker's counters before
@@ -127,7 +279,7 @@ class VcChecker:
         """
         return dict(self.statistics())
 
-    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+    def delta_since(self, snapshot: dict[str, float]) -> dict[str, float]:
         """Per-counter growth since a :meth:`snapshot` was taken.
 
         Counters absent from the snapshot (none today, but the solver's
@@ -147,11 +299,11 @@ class VcChecker:
         if isinstance(post, type(TRUE)) and post == TRUE:
             return True
         key = (pre, tuple(commands), post)
-        cached = self._triple_cache.get(key)
+        cached = self._cache_get(self._triple_cache, key)
         if cached is not None:
             self.cache_hits += 1
             return cached
-        translation = ssa_translate(commands)
+        translation = self._translate(commands)
         pre_ssa = rename_to_versions(pre, {}, {})
         post_ssa = rename_to_versions(
             post, translation.var_versions, translation.array_versions
@@ -160,7 +312,7 @@ class VcChecker:
             [pre_ssa, translation.formula(), negate(post_ssa)]
         )
         verdict = self._is_unsat_obligation(obligation, translation)
-        self._triple_cache[key] = verdict
+        self._cache_put(self._triple_cache, key, verdict)
         return verdict
 
     # ------------------------------------------------------------------
@@ -185,31 +337,190 @@ class VcChecker:
         ``transition`` is any hashable object with a ``commands`` tuple (a
         :class:`~repro.lang.cfg.Transition`).  The verdict only depends on the
         state and the commands, never on the precision, so the memo survives
-        refinements unchanged.
+        refinements unchanged.  Decided through the prepared-edge context
+        (one satisfiability check of the asserted core); the context then
+        stays cached for the post batch that typically follows.
         """
         self.num_edge_queries += 1
         key = (state, transition)
-        cached = self._edge_cache.get(key)
+        cached = self._cache_get(self._edge_cache, key)
         if cached is not None:
             self.edge_cache_hits += 1
             return cached
         pre = self.state_formula(state)
-        verdict = not self.check_triple(pre, transition.commands, FALSE)
-        self._edge_cache[key] = verdict
+        if not self.batched_posts:
+            verdict = not self.check_triple(pre, transition.commands, FALSE)
+        else:
+            edge = self._prepare_edge(state, transition)
+            # Mirrors check_triple(pre, commands, FALSE) — one Hoare-triple
+            # check against the memo both oracles share.
+            self.num_triple_checks += 1
+            triple_key = (pre, tuple(transition.commands), FALSE)
+            unsat = self._cache_get(self._triple_cache, triple_key)
+            if unsat is not None:
+                self.cache_hits += 1
+            else:
+                if edge.quantified:
+                    unsat = self._is_unsat_obligation(edge.core, edge.translation)
+                elif edge.base_failed:
+                    unsat = True
+                else:
+                    started = time.perf_counter()
+                    self.num_batched_posts += 1
+                    unsat = not edge.context.check(TRUE).satisfiable
+                    self.post_solve_seconds += time.perf_counter() - started
+                self._cache_put(self._triple_cache, triple_key, unsat)
+            verdict = not unsat
+        self._cache_put(self._edge_cache, key, verdict)
         return verdict
 
     def post_predicate_holds(self, state: frozenset, transition, predicate: Formula) -> bool:
-        """Does ``predicate`` hold after firing ``transition`` from ``state``?"""
+        """Does ``predicate`` hold after firing ``transition`` from ``state``?
+
+        The scalar oracle: one full pipeline run per predicate.  Kept as the
+        differential baseline of :meth:`post_all_predicates` (and used by it
+        when ``batched_posts`` is off); verdicts of the two paths are
+        identical and land in the same memo tables.
+        """
         self.num_post_queries += 1
         key = (state, transition, predicate)
-        cached = self._post_cache.get(key)
+        cached = self._cache_get(self._post_cache, key)
         if cached is not None:
             self.post_cache_hits += 1
             return cached
         pre = self.state_formula(state)
         verdict = self.check_triple(pre, transition.commands, predicate)
-        self._post_cache[key] = verdict
+        self._cache_put(self._post_cache, key, verdict)
         return verdict
+
+    def post_all_predicates(
+        self, state: frozenset, transition, predicates: Iterable[Formula]
+    ) -> dict[Formula, bool]:
+        """Decide every predicate of one edge in a single batched query.
+
+        Memo-hit predicates are answered from the post cache first — if the
+        whole batch hits, no solver context is built or fetched.  The rest
+        share one prepared core (cached per ``(state, transition)``) and are
+        decided by push/check/pop of their negated renamed form inside its
+        :class:`~repro.smt.solver.SolverContext`.  Verdicts and memo effects
+        are identical to calling :meth:`post_predicate_holds` per predicate.
+        """
+        verdicts: dict[Formula, bool] = {}
+        remaining: list[Formula] = []
+        for predicate in predicates:
+            self.num_post_queries += 1
+            cached = self._cache_get(self._post_cache, (state, transition, predicate))
+            if cached is not None:
+                self.post_cache_hits += 1
+                verdicts[predicate] = cached
+            else:
+                remaining.append(predicate)
+        if not remaining:
+            return verdicts
+        if not self.batched_posts:
+            # Differential baseline: the scalar oracle per predicate (undo
+            # the query count above — post_predicate_holds re-counts).
+            for predicate in remaining:
+                self.num_post_queries -= 1
+                verdicts[predicate] = self.post_predicate_holds(
+                    state, transition, predicate
+                )
+            return verdicts
+        self.num_batch_calls += 1
+        edge = self._prepare_edge(state, transition)
+        pre = self.state_formula(state)
+        for predicate in remaining:
+            verdict = self._decide_post(edge, pre, transition, predicate)
+            self._cache_put(self._post_cache, (state, transition, predicate), verdict)
+            verdicts[predicate] = verdict
+        return verdicts
+
+    # ------------------------------------------------------------------
+    # Batched-oracle internals
+    # ------------------------------------------------------------------
+    def _prepare_edge(self, state: frozenset, transition) -> _PreparedEdge:
+        """The prepared core for ``(state, transition)`` (LRU-cached)."""
+        key = (state, transition)
+        edge = self._cache_get(self._prepared_edges, key, cap=self._prepared_edge_cap)
+        if edge is not None:
+            self.num_context_reuses += 1
+            return edge
+        started = time.perf_counter()
+        self.num_prepare_calls += 1
+        translation = self._translate(transition.commands)
+        pre_ssa = rename_to_versions(self.state_formula(state), {}, {})
+        core = conjoin([pre_ssa, translation.formula()])
+        core = skolemize_negative(core, self._fresh)
+        core = resolve_stores(core, translation.stores)
+        quantified = not quantifier_free(core)
+        context: Optional[SolverContext] = None
+        base_failed = False
+        if not quantified:
+            context = self.solver.context()
+            base_failed = not context.assert_base(core)
+        edge = _PreparedEdge(
+            translation=translation,
+            pre_ssa=pre_ssa,
+            core=core,
+            quantified=quantified,
+            context=context,
+            base_failed=base_failed,
+        )
+        self._cache_put(self._prepared_edges, key, edge, cap=self._prepared_edge_cap)
+        self.prepare_seconds += time.perf_counter() - started
+        return edge
+
+    def _decide_post(
+        self, edge: _PreparedEdge, pre: Formula, transition, predicate: Formula
+    ) -> bool:
+        """One predicate of a batch, with scalar-identical memo behaviour."""
+        # Budget fidelity: every decided post is one Hoare-triple check, and
+        # both oracles read and write the same triple memo.
+        self.num_triple_checks += 1
+        if isinstance(predicate, type(TRUE)) and predicate == TRUE:
+            return True
+        triple_key = (pre, tuple(transition.commands), predicate)
+        cached = self._cache_get(self._triple_cache, triple_key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        translation = edge.translation
+        post_ssa = rename_to_versions(
+            predicate, translation.var_versions, translation.array_versions
+        )
+        negated = negate(post_ssa)
+        if edge.quantified:
+            verdict = self._scalar_fallback(edge, negated)
+        elif edge.base_failed:
+            # The edge cannot fire: {pre} commands {p} holds vacuously.
+            verdict = True
+        else:
+            assumption = resolve_stores(
+                skolemize_negative(negated, self._fresh), translation.stores
+            )
+            if not quantifier_free(assumption):
+                verdict = self._scalar_fallback(edge, negated)
+            else:
+                started = time.perf_counter()
+                self.num_batched_posts += 1
+                verdict = not edge.context.check(assumption).satisfiable
+                self.post_solve_seconds += time.perf_counter() - started
+        self._cache_put(self._triple_cache, triple_key, verdict)
+        return verdict
+
+    def _scalar_fallback(self, edge: _PreparedEdge, negated: Formula) -> bool:
+        """The full quantifier pipeline over the whole obligation.
+
+        Used whenever the core or the (negated) predicate still carries a
+        quantifier: hypothesis instantiation draws its index terms from the
+        *combined* obligation, so splitting it across the context would
+        weaken the check.  The prepared translation is still reused.
+        """
+        self.num_scalar_fallbacks += 1
+        obligation = conjoin(
+            [edge.pre_ssa, edge.translation.formula(), negated]
+        )
+        return self._is_unsat_obligation(obligation, edge.translation)
 
     def check_entailment(self, lhs: Formula, rhs: Formula) -> bool:
         """``lhs |= rhs`` for state formulas (no commands involved)."""
@@ -227,7 +538,7 @@ class VcChecker:
     ) -> PathFeasibility:
         """Is there a concrete execution of ``commands`` from a ``pre`` state?"""
         self.num_feasibility_checks += 1
-        translation = ssa_translate(commands)
+        translation = self._translate(commands)
         pre_ssa = rename_to_versions(pre, {}, {})
         obligation = conjoin([pre_ssa, translation.formula()])
         prepared = self._prepare(obligation, translation)
@@ -237,6 +548,10 @@ class VcChecker:
     # ------------------------------------------------------------------
     # Shared pipeline
     # ------------------------------------------------------------------
+    def _translate(self, commands: Sequence[Command]) -> SsaTranslation:
+        self.num_ssa_translations += 1
+        return ssa_translate(commands)
+
     def _prepare(self, obligation: Formula, translation: SsaTranslation) -> Formula:
         """Skolemise, resolve stores and instantiate quantifiers."""
         skolemized = skolemize_negative(obligation, self._fresh)

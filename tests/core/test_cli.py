@@ -134,6 +134,24 @@ class TestVerifyCommand:
         assert excinfo.value.code == 0
         assert "--refiner portfolio" in capsys.readouterr().out
 
+    def test_precision_store_warm_starts_second_invocation(self, tmp_path, capsys):
+        store = tmp_path / "bank.pkl"
+        assert run_cli(["verify", "forward", "--precision-store", str(store),
+                        "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert store.exists()
+        assert run_cli(["verify", "forward", "--precision-store", str(store),
+                        "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["engine"]["session"]["warm_started"] is True
+        assert warm["post_decisions"] < cold["post_decisions"]
+
+    def test_corrupt_precision_store_is_usage_error(self, tmp_path, capsys):
+        store = tmp_path / "bank.pkl"
+        store.write_bytes(b"garbage")
+        assert run_cli(["verify", "lock_step", "--precision-store", str(store)]) == 3
+        assert "not a precision-store file" in capsys.readouterr().err
+
 
 class TestBatchCommand:
     def test_batch_json_document(self, tmp_path, capsys):
@@ -161,6 +179,21 @@ class TestBatchCommand:
         assert payload["session"]["warm_starts"] == 1
         assert again["engine"]["session"]["warm_started"] is True
         assert again["post_decisions"] < first["post_decisions"]
+
+    def test_batch_precision_store_spans_invocations(self, tmp_path):
+        store = tmp_path / "bank.pkl"
+        first_out = tmp_path / "first.json"
+        second_out = tmp_path / "second.json"
+        assert run_cli(["batch", "lock_step", "--jobs", "1",
+                        "--precision-store", str(store),
+                        "--output", str(first_out)]) == 0
+        assert run_cli(["batch", "lock_step", "--jobs", "1",
+                        "--precision-store", str(store),
+                        "--output", str(second_out)]) == 0
+        cold = json.loads(first_out.read_text())["results"][0]
+        warm = json.loads(second_out.read_text())["results"][0]
+        assert warm["engine"]["session"]["warm_started"] is True
+        assert warm["post_decisions"] < cold["post_decisions"]
 
     def test_batch_no_warm_start_flag(self, tmp_path):
         out_file = tmp_path / "cold.json"
