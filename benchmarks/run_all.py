@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr5.json``.
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr6.json``.
 
-Five data sections feed the perf trajectory (``benchmarks/trend_diff.py``
+Six data sections feed the perf trajectory (``benchmarks/trend_diff.py``
 diffs the engine section of consecutive snapshots in CI):
 
 * ``pytest``      — every ``bench_e*.py`` benchmark run through
@@ -22,10 +22,15 @@ diffs the engine section of consecutive snapshots in CI):
 * ``session``     — warm-started vs cold suite batches through the session
   API: total and per-program abstract-post reductions bought by precision
   transfer (the bench_e10 story in raw numbers).
+* ``supervision`` — the supervised pool batch under a deterministic
+  fault plan (worker crashes on first attempts): per-program verdicts and
+  attempt counts plus the supervisor's recovery counters.  Its rows carry
+  ``"fault_injected": true`` and are exempt from the trend check — the
+  injected retries are deliberate wall-clock noise, not a regression.
 
 Usage::
 
-    python benchmarks/run_all.py                  # full run, writes BENCH_pr5.json
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr6.json
     python benchmarks/run_all.py --skip-pytest    # direct sections only (fast)
     python benchmarks/run_all.py -o out.json
 """
@@ -319,11 +324,81 @@ def run_session_section() -> dict:
     return section
 
 
+def run_supervision_section() -> dict:
+    """The supervised pool batch, fault-free vs under an injected fault plan.
+
+    Three suite programs crash their worker on the first attempt; the
+    supervisor must retry them on fresh workers and reproduce the
+    fault-free verdicts.  Every per-program row carries
+    ``"fault_injected": True`` so the trend check skips them.
+    """
+    from repro.core.faults import FaultPlan, FaultSpec, installed
+
+    budgets = dict(ENGINE_PROGRAMS)
+    base = VerifierOptions(task_timeout=120.0, task_retries=2)
+
+    def suite_tasks(session: Session) -> list:
+        return [
+            session.task(name, options=base.replace(max_refinements=budget))
+            for name, budget in ENGINE_PROGRAMS
+        ]
+
+    started = time.perf_counter()
+    clean_session = Session(base)
+    clean_docs = clean_session.run_many(suite_tasks(clean_session), jobs=4)
+    clean_seconds = round(time.perf_counter() - started, 4)
+
+    plan = FaultPlan(
+        [
+            FaultSpec(kind="crash", key="forward", attempts=(0,)),
+            FaultSpec(kind="crash", key="lock_step", attempts=(0,)),
+            FaultSpec(kind="crash", key="simple_unsafe", attempts=(0,)),
+        ],
+        seed=7,
+    )
+    with installed(plan):
+        started = time.perf_counter()
+        faulted_session = Session(base)
+        faulted_docs = faulted_session.run_many(
+            suite_tasks(faulted_session), jobs=4
+        )
+        faulted_seconds = round(time.perf_counter() - started, 4)
+
+    rows = []
+    for clean, faulted in zip(clean_docs, faulted_docs):
+        rows.append(
+            {
+                "program": faulted["name"],
+                "fault_injected": True,
+                "verdict": faulted["verdict"],
+                "attempts": faulted["attempts"],
+                "recovered": bool(faulted.get("failures")),
+                "verdict_agrees": faulted["verdict"] == clean["verdict"],
+            }
+        )
+    section = {
+        "fault_plan": plan.to_payload(),
+        "programs": rows,
+        "clean_seconds": clean_seconds,
+        "faulted_seconds": faulted_seconds,
+        "supervision": faulted_session.statistics()["supervision"],
+        "verdicts_agree": all(row["verdict_agrees"] for row in rows),
+    }
+    stats = section["supervision"]
+    print(
+        f"  clean={clean_seconds}s faulted={faulted_seconds}s "
+        f"crashes={stats['crashes']} recovered={stats['tasks_recovered']} "
+        f"failed={stats['tasks_failed']} "
+        f"verdicts_agree={section['verdicts_agree']}"
+    )
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr5.json"),
-        help="where to write the JSON report (default: repo root BENCH_pr5.json)",
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr6.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr6.json)",
     )
     parser.add_argument(
         "--skip-pytest", action="store_true",
@@ -341,6 +416,8 @@ def main(argv=None) -> int:
     report["sections"]["portfolio"] = run_portfolio_section()
     print("session section (warm-start precision transfer):")
     report["sections"]["session"] = run_session_section()
+    print("supervision section (fault-injected supervised batch):")
+    report["sections"]["supervision"] = run_supervision_section()
     if not args.skip_pytest:
         print("pytest section (bench_e*.py):")
         report["sections"]["pytest"] = run_pytest_section()

@@ -65,13 +65,22 @@ def bench_files(directory: Path) -> list[Path]:
 
 
 def engine_rows(path: Path) -> dict[str, dict]:
-    """The engine section of one snapshot, keyed by program name."""
+    """The engine section of one snapshot, keyed by program name.
+
+    Rows flagged ``"fault_injected": true`` are exempt: their wall clock
+    and retry counts measure the fault-injection harness (deliberate
+    crashes, backoff sleeps), not engine performance.
+    """
     try:
         doc = json.loads(path.read_text())
     except json.JSONDecodeError as error:
         raise SystemExit(f"{path}: not valid JSON ({error})")
     rows = doc.get("sections", {}).get("engine", [])
-    return {row["program"]: row for row in rows if "program" in row}
+    return {
+        row["program"]: row
+        for row in rows
+        if "program" in row and not row.get("fault_injected")
+    }
 
 
 def diff(

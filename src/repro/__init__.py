@@ -26,6 +26,8 @@ from .core.api import (
     program_fingerprint,
 )
 from .core.engine import RESULT_SCHEMA_VERSION, Budget
+from .core.supervision import RetryPolicy, Supervisor
+from .core.faults import FaultPlan, FaultSpec
 from .lang.programs import PROGRAMS, get_program, get_source, list_programs
 
 __version__ = "1.2.0"
@@ -43,6 +45,10 @@ __all__ = [
     "PortfolioResult",
     "RESULT_SCHEMA_VERSION",
     "Verdict",
+    "Supervisor",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
     "PROGRAMS",
     "get_program",
     "get_source",

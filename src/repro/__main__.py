@@ -101,8 +101,25 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--precision-store", metavar="PATH", default=None,
         help="disk-backed precision bank: load discovered predicates from "
-        "PATH at startup and save new ones back (atomic write), so warm "
-        "starts survive across invocations",
+        "PATH at startup and save new ones back (locked, journalled, "
+        "crash-safe), so warm starts survive across invocations — even "
+        "concurrent ones",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="supervised batch pools: per-task wall-clock bound — a worker "
+        "exceeding it is killed and the task retried (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="supervised batch pools: retries granted per task after a "
+        "worker crash/hang/error before it settles as a structured "
+        "failure record (default: 2)",
+    )
+    parser.add_argument(
+        "--degrade-on-retry", action="store_true",
+        help="supervised batch pools: halve a task's resource budgets on "
+        "each retry (a degraded retry may return a weaker verdict)",
     )
 
 
@@ -115,6 +132,8 @@ _FLAG_FIELDS = {
     "max_nodes": "max_nodes",
     "max_seconds": "max_seconds",
     "max_predicates_per_location": "max_predicates_per_location",
+    "task_timeout": "task_timeout",
+    "retries": "task_retries",
 }
 
 
@@ -133,6 +152,8 @@ def _resolve_options(args: argparse.Namespace) -> VerifierOptions:
         overrides["incremental"] = False
     if args.no_warm_start:
         overrides["warm_start"] = False
+    if args.degrade_on_retry:
+        overrides["degrade_on_retry"] = True
     return options.replace(**overrides) if overrides else options
 
 

@@ -40,6 +40,7 @@ Quickstart::
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
@@ -48,12 +49,19 @@ import pickle
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+try:  # advisory file locking for the disk-backed store (POSIX only)
+    import fcntl
+except ImportError:  # pragma: no cover - Windows
+    fcntl = None  # type: ignore[assignment]
 
 from ..lang.ast import FunctionDef
 from ..lang.cfg import Program, build_program, program_from_source
 from ..logic.formulas import Formula
 from ..smt.vcgen import VcChecker
+from . import faults as _faults
+from .supervision import RetryPolicy, Supervisor
 from .engine import (
     PORTFOLIO_MODES,
     PORTFOLIO_REFINERS,
@@ -153,6 +161,17 @@ class VerifierOptions:
     #: evicted least-recently-used.  ``None`` (the default) keeps the
     #: historical unbounded growth; set it for long-lived service sessions.
     max_cache_entries: Optional[int] = None
+    #: Per-task wall-clock bound for supervised pool batches: a worker that
+    #: exceeds it is declared hung and killed, and the task is retried
+    #: (``None`` = no supervision timeout).
+    task_timeout: Optional[float] = None
+    #: How many times a supervised pool task is retried after a charged
+    #: failure (worker crash / hang / infrastructure error) before it
+    #: settles as verdict ``unknown`` with a structured ``failure`` record.
+    task_retries: int = 2
+    #: Halve a task's resource budgets on each supervised retry.  Off by
+    #: default: a degraded retry may legitimately return a weaker verdict.
+    degrade_on_retry: bool = False
 
     def __post_init__(self) -> None:
         from .verifier import ENGINE_REFINER_NAMES, REFINER_NAMES
@@ -214,6 +233,12 @@ class VerifierOptions:
             raise ValueError(
                 f"max_cache_entries must be >= 1 or None, got {self.max_cache_entries}"
             )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0 or None, got {self.task_timeout}"
+            )
+        if self.task_retries < 0:
+            raise ValueError(f"task_retries must be >= 0, got {self.task_retries}")
 
     # ------------------------------------------------------------------
     def budget(self) -> Budget:
@@ -359,6 +384,15 @@ class VerificationTask:
 # ----------------------------------------------------------------------
 # The precision store
 # ----------------------------------------------------------------------
+#: Framing of one journal record: magic, 4-byte big-endian payload length,
+#: then the pickled ``(fingerprint, payload)`` pair.  A torn tail (partial
+#: record from a crashed writer) is detected by the framing and dropped.
+_JOURNAL_MAGIC = b"RJN1"
+
+#: Fold the journal into a fresh snapshot once it grows past this.
+JOURNAL_COMPACT_BYTES = 256 * 1024
+
+
 class PrecisionStore:
     """Discovered predicates, keyed by program fingerprint.
 
@@ -368,26 +402,160 @@ class PrecisionStore:
     Payloads are picklable, so a session can ship them into pool workers and
     merge what comes back — and, with ``path`` set, the whole map survives
     *process lifetimes*: the store loads (merges) the file's contents at
-    construction and :meth:`save` writes them back atomically (a temp file
-    in the same directory, then ``os.replace``), so a service restart or a
-    later CI shard warm-starts from everything earlier runs discovered.
-    Formulas pickle via ``__reduce__`` and re-intern on load.
+    construction and writes them back so a service restart or a later CI
+    shard warm-starts from everything earlier runs discovered.  Formulas
+    pickle via ``__reduce__`` and re-intern on load.
+
+    The disk form is **crash-safe and multi-session-safe**:
+
+    * every write happens under an advisory ``flock`` on a *stable* sibling
+      ``<name>.lock`` file (never deleted or replaced — locking the snapshot
+      itself would race its own atomic-replace inode swap);
+    * :meth:`bank` appends one fsynced record to an append-only sibling
+      ``<name>.journal`` instead of rewriting the snapshot, so concurrent
+      sessions interleave records rather than overwrite each other;
+    * :meth:`save` *merges on write*: under the lock it re-reads whatever is
+      on disk (snapshot plus journal — including other sessions' records),
+      folds it into memory, then atomically replaces the snapshot and
+      truncates the journal.  Two sessions banking concurrently both land
+      their predicates; last-writer-wins is gone;
+    * a corrupted or truncated snapshot (torn write, bad disk) is
+      **quarantined** — renamed to ``<name>.corrupt``, a ``RuntimeWarning``
+      issued — and the store starts cold instead of crashing the session;
+      a torn journal tail is silently dropped (the framing detects it).
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
         self._store: dict[str, dict[str, set[Formula]]] = {}
         self.path = Path(path) if path is not None else None
-        if self.path is not None and self.path.exists():
-            self.load(self.path)
+        #: Snapshot files quarantined (renamed ``*.corrupt``) by this store.
+        self.quarantined: list[Path] = []
+        if self.path is not None:
+            self._load_own()
 
     # ------------------------------------------------------------------
     # Disk persistence
     # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        """The append-only merge journal next to the snapshot."""
+        assert self.path is not None
+        return self.path.with_name(self.path.name + ".journal")
+
+    @property
+    def lock_path(self) -> Path:
+        """The stable advisory-lock file next to the snapshot."""
+        assert self.path is not None
+        return self.path.with_name(self.path.name + ".lock")
+
+    @staticmethod
+    @contextlib.contextmanager
+    def _locked_path(target: Path) -> Iterator[None]:
+        """Hold the advisory lock guarding ``target`` and its journal.
+
+        The lock lives on a separate, stable file: ``flock`` is per-inode,
+        and :meth:`save` replaces the snapshot's inode, so locking the
+        snapshot itself would let two processes each hold "the" lock.
+        No-op where ``fcntl`` is unavailable (Windows): single-process
+        correctness is unaffected, only cross-process exclusion is lost.
+        """
+        if fcntl is None:  # pragma: no cover - Windows
+            yield
+            return
+        lock = target.with_name(target.name + ".lock")
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        with open(lock, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _load_own(self) -> int:
+        """Load this store's own snapshot + journal (quarantining, not raising)."""
+        path = self.path
+        assert path is not None
+        if not (path.exists() or self.journal_path.exists()):
+            return 0  # nothing on disk: create no files at construction
+        with self._locked_path(path):
+            added = self._read_snapshot_with_quarantine(path)
+            added += self._replay_journal(self.journal_path)
+        return added
+
+    def _read_snapshot_with_quarantine(self, path: Path) -> int:
+        """Read the own snapshot; quarantine it if it will not parse.
+
+        The fault-injection ``store-load`` site fires here (keyed by the
+        path and its basename): ``corrupt-store`` truncates the file before
+        the read, ``flaky-pickle`` makes one read raise transiently.  One
+        retry distinguishes the two — a transient error recovers, a
+        corrupted file fails twice and is quarantined.
+        """
+        if not path.exists():
+            return 0
+        last_error: Optional[Exception] = None
+        for attempt in range(2):
+            spec = _faults.fire("store-load", (str(path), path.name), attempt)
+            try:
+                if spec is not None:
+                    if spec.kind == "corrupt-store":
+                        _faults.corrupt_file(path)
+                    elif spec.kind == "flaky-pickle":
+                        raise pickle.UnpicklingError("injected flaky pickle read")
+                return self.load(path)
+            except (ValueError, OSError, EOFError, pickle.UnpicklingError) as error:
+                last_error = error
+        self._quarantine(path, last_error)
+        return 0
+
+    def _quarantine(self, path: Path, error: Optional[Exception]) -> Path:
+        """Rename a corrupt snapshot aside and warn; the store starts cold."""
+        target = path.with_name(path.name + ".corrupt")
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = path.with_name(f"{path.name}.corrupt.{counter}")
+        os.replace(path, target)
+        self.quarantined.append(target)
+        warnings.warn(
+            f"{path}: corrupt precision store quarantined to {target.name}; "
+            f"starting cold ({error!r})",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return target
+
+    def _replay_journal(self, journal: Path) -> int:
+        """Merge every intact journal record; a torn tail is dropped."""
+        if not journal.exists():
+            return 0
+        try:
+            data = journal.read_bytes()
+        except OSError:
+            return 0
+        added, offset = 0, 0
+        while offset + 8 <= len(data):
+            if data[offset : offset + 4] != _JOURNAL_MAGIC:
+                break  # garbage: stop replaying, keep what we have
+            length = int.from_bytes(data[offset + 4 : offset + 8], "big")
+            end = offset + 8 + length
+            if end > len(data):
+                break  # torn tail: a crashed writer's partial record
+            try:
+                fingerprint, payload = pickle.loads(data[offset + 8 : end])
+                added += self.merge(fingerprint, payload or {})
+            except Exception:
+                break
+            offset = end
+        return added
+
     def load(self, path: Union[str, Path]) -> int:
         """Merge a saved store file into this one; returns predicates added.
 
         Loading *merges* (monotonically, like everything else here) rather
-        than replacing, so a store can aggregate several files.
+        than replacing, so a store can aggregate several files.  A file that
+        is not a precision store raises ``ValueError`` — quarantine-and-
+        continue applies only to the store's *own* snapshot at construction.
         """
         with open(path, "rb") as handle:
             try:
@@ -403,25 +571,73 @@ class PrecisionStore:
             added += self.merge(fingerprint, by_name)
         return added
 
+    def bank(self, fingerprint: str) -> Path:
+        """Durably land one fingerprint's predicates without a full rewrite.
+
+        Appends a single fsynced record to the journal under the lock —
+        concurrent sessions interleave instead of overwriting — then
+        compacts (:meth:`save`) when the snapshot does not exist yet or the
+        journal has outgrown :data:`JOURNAL_COMPACT_BYTES`.
+        """
+        if self.path is None:
+            raise ValueError("no path: bank() needs a disk-backed store")
+        record = pickle.dumps((fingerprint, self.payload(fingerprint) or {}))
+        journal = self.journal_path
+        with self._locked_path(self.path):
+            journal.parent.mkdir(parents=True, exist_ok=True)
+            with open(journal, "ab") as handle:
+                handle.write(_JOURNAL_MAGIC)
+                handle.write(len(record).to_bytes(4, "big"))
+                handle.write(record)
+                handle.flush()
+                os.fsync(handle.fileno())
+            journal_size = journal.stat().st_size
+            compact = not self.path.exists() or journal_size > JOURNAL_COMPACT_BYTES
+        if compact:  # save() takes the lock itself: do not hold it here
+            self.save()
+        return self.path
+
     def save(self, path: Optional[Union[str, Path]] = None) -> Path:
-        """Atomically write the store to ``path`` (default: its own ``path``)."""
+        """Merge-on-write the store to ``path`` (default: its own ``path``).
+
+        Under the advisory lock: re-read whatever is on disk (another
+        session may have written since we loaded; a corrupt snapshot is
+        quarantined), replay the journal, fold both into memory, then
+        atomically replace the snapshot (temp file + ``os.replace``) and
+        truncate the journal.  The result is the *union* of both sessions'
+        predicates — the concurrent-write semantics the monotone store
+        always promised.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no path: pass save(path) or construct with path=")
-        payload = {
-            fingerprint: self.payload(fingerprint)
-            for fingerprint in self.fingerprints()
-            if self.payload(fingerprint)
-        }
         target.parent.mkdir(parents=True, exist_ok=True)
-        temp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
-        try:
-            with open(temp, "wb") as handle:
-                pickle.dump(payload, handle)
-            os.replace(temp, target)
-        finally:
-            if temp.exists():  # only on a failed dump; os.replace consumed it
-                temp.unlink()
+        own = self.path is not None and target == self.path
+        with self._locked_path(target):
+            if target.exists():
+                try:
+                    self.load(target)  # merge-on-write: fold in others' work
+                except (ValueError, OSError) as error:
+                    self._quarantine(target, error)
+            if own:
+                self._replay_journal(self.journal_path)
+            payload = {
+                fingerprint: self.payload(fingerprint)
+                for fingerprint in self.fingerprints()
+                if self.payload(fingerprint)
+            }
+            temp = target.with_name(f".{target.name}.tmp.{os.getpid()}")
+            try:
+                with open(temp, "wb") as handle:
+                    pickle.dump(payload, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp, target)
+            finally:
+                if temp.exists():  # only on a failed dump; os.replace consumed it
+                    temp.unlink()
+            if own and self.journal_path.exists():
+                self.journal_path.unlink()
         return target
 
     # ------------------------------------------------------------------
@@ -530,6 +746,10 @@ class Session:
         self.tasks_run = 0
         self.warm_starts = 0
         self.predicates_banked = 0
+        #: The :class:`~repro.core.supervision.Supervisor` of the most
+        #: recent :meth:`run_many` pool batch (``None`` before the first) —
+        #: its counters surface in :meth:`statistics` as ``supervision``.
+        self.last_supervisor: Optional[Supervisor] = None
 
     # ------------------------------------------------------------------
     def task(
@@ -612,7 +832,7 @@ class Session:
             added = self.store.merge(fingerprint, payload)
             self.predicates_banked += added
             if added and self.store.path is not None:
-                self.store.save()
+                self.store.bank(fingerprint)
 
     @staticmethod
     def _provenance(fingerprint: str, warm: bool, seeded: int) -> dict[str, Any]:
@@ -683,11 +903,20 @@ class Session:
         sequentially in-process (tasks later in the list then warm-start
         from earlier ones on the same program).  On a pool, seeds reflect
         the store at submit time and every worker ships its discovered
-        precision back, so the bank still grows; platforms that refuse to
-        spawn a pool degrade to the sequential path.  The pool requires
-        every task to be shippable — if *any* task lacks source text
-        (pre-built program) or pins an in-process refiner instance or seed
-        precision, the **whole batch** runs sequentially.
+        precision back, so the bank still grows.  The pool requires every
+        task to be shippable — if *any* task lacks source text (pre-built
+        program) or pins an in-process refiner instance or seed precision,
+        the **whole batch** runs sequentially.
+
+        The pool path is **supervised** (see
+        :class:`~repro.core.supervision.Supervisor`): tasks are submitted
+        as individual futures, worker crashes and hangs are detected and
+        retried with backoff (``options.task_retries`` /
+        ``options.task_timeout`` / ``options.degrade_on_retry``), a
+        repeatedly broken pool degrades to in-process execution, and a task
+        that exhausts its retries yields verdict ``unknown`` with a
+        structured ``failure`` record — no exception ever escapes to the
+        caller, and one bad task never discards its siblings' results.
         """
         normalised = [self._coerce(entry) for entry in tasks]
         if jobs is None:
@@ -733,45 +962,58 @@ class Session:
                         (task, None, error_doc(task.name or f"task{index}", error))
                     )
             payloads = [payload for _, payload, _ in prepared if payload is not None]
-            try:
-                from concurrent.futures import ProcessPoolExecutor
-
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    pool_docs = list(pool.map(_run_batch_task, payloads))
-            except (OSError, PermissionError, ImportError):
-                pool_docs = None  # fall through to the sequential path
-            if pool_docs is not None:
-                results = iter(pool_docs)
-                docs = []
-                for task, payload, parse_error_doc in prepared:
-                    self.tasks_run += 1
-                    if payload is None:
-                        docs.append(parse_error_doc)
-                        continue
-                    doc = next(results)
-                    if doc.get("verdict") == "error":
-                        # The worker crashed before running warm: keep the
-                        # counters honest and the error-doc key set lean.
-                        doc.pop("_precision", None)
-                        docs.append(doc)
-                        continue
-                    if payload["seed"]:
-                        self.warm_starts += 1
-                    self._bank_decided(
-                        task.fingerprint, doc.get("verdict"), doc.pop("_precision", None)
-                    )
-                    doc.setdefault("engine", {})
-                    if isinstance(doc["engine"], dict):
-                        doc["engine"]["session"] = self._provenance(
-                            task.fingerprint,
-                            bool(payload["seed"]),
-                            sum(
-                                len(preds)
-                                for preds in (payload["seed"] or {}).values()
-                            ),
-                        )
+            keys = [
+                (task.fingerprint,)
+                for task, payload, _ in prepared
+                if payload is not None
+            ]
+            # The Supervisor owns every pool failure mode: per-task futures
+            # (one worker exception no longer discards the batch), per-task
+            # timeouts, crash retries with backoff, and degradation to
+            # in-process execution when pools are repeatedly broken or
+            # cannot be created at all.  It never raises for a task.
+            supervisor = Supervisor(
+                worker=_run_batch_task,
+                jobs=jobs,
+                task_timeout=self.options.task_timeout,
+                retry=RetryPolicy(
+                    max_retries=self.options.task_retries,
+                    degrade=self.options.degrade_on_retry,
+                ),
+            )
+            self.last_supervisor = supervisor
+            pool_docs = supervisor.run_batch(payloads, keys=keys)
+            results = iter(pool_docs)
+            docs = []
+            for task, payload, parse_error_doc in prepared:
+                self.tasks_run += 1
+                if payload is None:
+                    docs.append(parse_error_doc)
+                    continue
+                doc = next(results)
+                if doc.get("verdict") == "error" or doc.get("failure"):
+                    # The worker crashed/errored before running warm: keep
+                    # the counters honest and the doc's key set lean.
+                    doc.pop("_precision", None)
                     docs.append(doc)
-                return docs
+                    continue
+                if payload["seed"]:
+                    self.warm_starts += 1
+                self._bank_decided(
+                    task.fingerprint, doc.get("verdict"), doc.pop("_precision", None)
+                )
+                doc.setdefault("engine", {})
+                if isinstance(doc["engine"], dict):
+                    doc["engine"]["session"] = self._provenance(
+                        task.fingerprint,
+                        bool(payload["seed"]),
+                        sum(
+                            len(preds)
+                            for preds in (payload["seed"] or {}).values()
+                        ),
+                    )
+                docs.append(doc)
+            return docs
         docs = []
         for index, task in enumerate(normalised):
             # Per-task isolation, matching the pool workers: one malformed
@@ -805,7 +1047,7 @@ class Session:
     # ------------------------------------------------------------------
     def statistics(self) -> dict[str, Any]:
         """Session-level counters: scheduler, store, checker and its caches."""
-        return {
+        stats = {
             "tasks_run": self.tasks_run,
             "warm_starts": self.warm_starts,
             "predicates_banked": self.predicates_banked,
@@ -813,3 +1055,6 @@ class Session:
             "checker": self.checker.statistics(),
             "checker_caches": self.checker.cache_sizes(),
         }
+        if self.last_supervisor is not None:
+            stats["supervision"] = self.last_supervisor.statistics()
+        return stats

@@ -65,7 +65,10 @@ STRATEGY_NAMES = FRONTIER_NAMES
 #: Version of the JSON document produced by :meth:`Result.to_json`.  Bump on
 #: any breaking change to the key set or value semantics; additive keys keep
 #: the version.  The schema itself is documented on :meth:`Result.to_json`.
-RESULT_SCHEMA_VERSION = 1
+#: Version 2 adds the optional supervision keys: ``attempts`` (supervised
+#: execution count when > 1), ``failure`` (terminal structured failure of a
+#: task that exhausted its retries) and ``failures`` (per-attempt history).
+RESULT_SCHEMA_VERSION = 2
 
 
 class Verdict:
@@ -143,6 +146,12 @@ class Result:
     #: Engine-level reuse counters (strategy, incremental flag, cumulative
     #: ART statistics); None for results not produced by the engine.
     engine_stats: Optional[dict[str, Any]] = None
+    #: Supervised execution count (1 = first attempt succeeded; > 1 means
+    #: the task was retried after worker crashes/hangs).
+    attempts: int = 1
+    #: Terminal structured failure record of a supervised task that
+    #: exhausted its retries (see :func:`repro.core.supervision.failure_doc`).
+    failure: Optional[dict[str, Any]] = None
 
     @property
     def is_safe(self) -> bool:
@@ -224,7 +233,7 @@ class Result:
         ======================  ================================================
         key                     value
         ======================  ================================================
-        ``schema_version``      integer schema version (currently 1)
+        ``schema_version``      integer schema version (currently 2)
         ``name``                task name (defaults to the program name)
         ``verdict``             ``safe`` / ``unsafe`` / ``unknown`` / ``error``
         ``reason``              human-readable reason for non-decided verdicts
@@ -242,6 +251,13 @@ class Result:
         ``witness``             (unsafe only) input valuation as strings
         ``solver``              final cumulative solver/checker counters
         ``portfolio``           (portfolio only) mode, winner, per-arm reports
+        ``attempts``            (supervised, optional) execution count when
+                                the task was retried (> 1)
+        ``failure``             (supervised, optional) terminal structured
+                                failure record of a task that exhausted its
+                                retries: kind / message / attempt / elapsed
+        ``failures``            (supervised, optional) per-attempt failure
+                                history of a retried task
         ======================  ================================================
         """
         payload: dict[str, Any] = {
@@ -272,6 +288,10 @@ class Result:
                 for record in self.iterations
             ],
         }
+        if self.attempts != 1:
+            payload["attempts"] = self.attempts
+        if self.failure is not None:
+            payload["failure"] = self.failure
         if self.counterexample is not None and self.counterexample.model:
             payload["witness"] = {
                 str(var): str(value) for var, value in self.counterexample.model.items()
@@ -951,7 +971,18 @@ class PortfolioEngine:
                     if not handle.ready():
                         continue
                     del pending[name]
-                    doc = handle.get()
+                    try:
+                        doc = handle.get()
+                    except Exception as error:
+                        # The arm's worker raised (or died mid-transfer): one
+                        # broken arm must not abort the race — the surviving
+                        # arms can still decide the program.
+                        doc = {
+                            "refiner": name,
+                            "verdict": Verdict.UNKNOWN,
+                            "reason": f"portfolio arm failed: {error!r}",
+                            "status": "crashed",
+                        }
                     arm_docs[name] = doc
                     if winner_doc is None and doc["verdict"] in (
                         Verdict.SAFE,

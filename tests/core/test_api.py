@@ -179,7 +179,11 @@ REQUIRED_KEYS = {
     "predicates", "seconds", "post_decisions", "nodes_reused", "engine",
     "per_iteration",
 }
-OPTIONAL_KEYS = {"witness", "solver", "portfolio", "refiner"}
+OPTIONAL_KEYS = {
+    "witness", "solver", "portfolio", "refiner",
+    # schema v2: supervised-execution keys
+    "attempts", "failure", "failures",
+}
 ITERATION_KEYS = {
     "iteration", "nodes_created", "post_decisions", "counterexample_length",
     "counterexample_feasible", "new_predicates", "repair", "seconds",
@@ -190,7 +194,7 @@ class TestResultSchema:
     """Golden test: the to_json key set is a documented, versioned contract."""
 
     def _check(self, doc, verdict):
-        assert doc["schema_version"] == RESULT_SCHEMA_VERSION == 1
+        assert doc["schema_version"] == RESULT_SCHEMA_VERSION == 2
         assert doc["verdict"] == verdict
         assert REQUIRED_KEYS <= set(doc)
         assert set(doc) <= REQUIRED_KEYS | OPTIONAL_KEYS, sorted(doc)

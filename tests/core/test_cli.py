@@ -38,7 +38,7 @@ class TestVerifyCommand:
         assert payload["name"] == "lock_step"
         assert payload["verdict"] == "safe"
         assert payload["engine"]["incremental"] is True
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
 
     def test_options_file_toml(self, tmp_path, capsys):
         opts = tmp_path / "opts.toml"
@@ -146,11 +146,20 @@ class TestVerifyCommand:
         assert warm["engine"]["session"]["warm_started"] is True
         assert warm["post_decisions"] < cold["post_decisions"]
 
-    def test_corrupt_precision_store_is_usage_error(self, tmp_path, capsys):
+    def test_corrupt_precision_store_quarantined_and_run_succeeds(
+        self, tmp_path, capsys
+    ):
+        """A corrupt store no longer aborts the run: it is quarantined
+        (renamed ``*.corrupt``) and the session starts cold."""
         store = tmp_path / "bank.pkl"
         store.write_bytes(b"garbage")
-        assert run_cli(["verify", "lock_step", "--precision-store", str(store)]) == 3
-        assert "not a precision-store file" in capsys.readouterr().err
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert run_cli(
+                ["verify", "lock_step", "--precision-store", str(store)]
+            ) == 0
+        assert "verdict:      safe" in capsys.readouterr().out
+        assert (tmp_path / "bank.pkl.corrupt").exists()
+        assert store.exists()  # the decided run re-banked a fresh snapshot
 
 
 class TestBatchCommand:
@@ -164,7 +173,7 @@ class TestBatchCommand:
         payload = json.loads(out_file.read_text())
         assert payload["tasks"] == 2
         assert payload["verdicts"] == {"safe": 1, "unsafe": 1}
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert payload["session"]["tasks_run"] == 2
 
     def test_batch_session_warm_starts_repeated_targets(self, tmp_path):
@@ -206,6 +215,26 @@ class TestBatchCommand:
         assert payload["session"]["warm_starts"] == 0
         first, again = payload["results"]
         assert again["post_decisions"] == first["post_decisions"]
+
+    def test_batch_supervision_flags_plumb_through(self, tmp_path):
+        """``--task-timeout``/``--retries`` reach the supervisor, whose
+        statistics land in the batch document's session block."""
+        out_file = tmp_path / "supervised.json"
+        code = run_cli([
+            "batch", "lock_step", "simple_safe", "--jobs", "2",
+            "--task-timeout", "60", "--retries", "1",
+            "--output", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["verdicts"] == {"safe": 2}
+        supervision = payload["session"]["supervision"]
+        assert supervision["task_timeout"] == 60.0
+        assert supervision["max_retries"] == 1
+        assert supervision["tasks_failed"] == 0
+        for result in payload["results"]:
+            assert result["attempts"] == 1
+            assert "failure" not in result
 
     def test_batch_unknown_exit_code(self, capsys):
         code = run_cli(["batch", "forward", "--jobs", "1", "--max-refinements", "0"])

@@ -61,23 +61,41 @@ class TestStoreRoundTrip:
         with pytest.raises(ValueError, match="no path"):
             PrecisionStore().save()
 
-    def test_corrupt_file_is_a_value_error(self, tmp_path):
+    def test_corrupt_own_file_quarantined_not_raised(self, tmp_path):
+        """A corrupt snapshot must not crash session start: quarantine + cold."""
         path = tmp_path / "bank.pkl"
         path.write_bytes(b"not a pickle")
-        with pytest.raises(ValueError, match="not a precision-store file"):
-            PrecisionStore(path=path)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            store = PrecisionStore(path=path)
+        assert len(store) == 0
+        assert not path.exists()
+        assert (tmp_path / "bank.pkl.corrupt").exists()
+        assert store.quarantined == [tmp_path / "bank.pkl.corrupt"]
 
-    def test_non_dict_payload_rejected(self, tmp_path):
+    def test_non_dict_own_payload_quarantined(self, tmp_path):
         path = tmp_path / "bank.pkl"
         path.write_bytes(pickle.dumps(["wrong", "shape"]))
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            store = PrecisionStore(path=path)
+        assert len(store) == 0
+
+    def test_explicit_load_of_foreign_corrupt_file_still_raises(self, tmp_path):
+        """Quarantine applies to the store's *own* snapshot only; an explicit
+        load of some other file keeps its loud failure mode."""
+        path = tmp_path / "foreign.pkl"
+        path.write_bytes(b"not a pickle")
         with pytest.raises(ValueError, match="not a precision-store file"):
-            PrecisionStore(path=path)
+            PrecisionStore().load(path)
 
     def test_atomic_save_leaves_no_temp_files(self, tmp_path):
         store = PrecisionStore()
         Session(OPTIONS, store=store).run("lock_step")
         store.save(tmp_path / "bank.pkl")
-        assert [p.name for p in tmp_path.iterdir()] == ["bank.pkl"]
+        # The stable advisory-lock file is deliberately left behind (it must
+        # never be deleted: flock is per-inode); no *temp* files survive.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "bank.pkl", "bank.pkl.lock",
+        ]
 
 
 class TestSessionRestart:
@@ -204,3 +222,29 @@ class TestBoundedCaches:
         assert checker._cache_get(checker._post_cache, "b") is None
         assert checker._cache_get(checker._post_cache, "a") is True
         assert checker.cache_evictions == 1
+
+    def test_churn_far_past_capacity_stays_correct(self):
+        """Drive the memo tables through well over 10x their capacity: a
+        multi-program session under a tiny cap must evict constantly yet
+        reproduce the uncapped verdicts, and the eviction counter must be
+        monotone across runs."""
+        programs = ["forward", "lock_step", "double_counter", "up_down",
+                    "diamond_safe", "simple_safe", "simple_unsafe"]
+        uncapped = Session(OPTIONS)
+        expected = [uncapped.run(name).verdict for name in programs]
+        assert uncapped.checker.cache_sizes()["evictions"] == 0
+
+        cap = 4
+        session = Session(OPTIONS.replace(max_cache_entries=cap))
+        evictions_after = []
+        verdicts = []
+        for name in programs:
+            verdicts.append(session.run(name).verdict)
+            evictions_after.append(session.checker.cache_sizes()["evictions"])
+        assert verdicts == expected
+        # Monotone, and the churn really exceeded 10x the capacity.
+        assert evictions_after == sorted(evictions_after)
+        assert evictions_after[-1] > 10 * cap
+        for table in ("triple_cache", "edge_cache", "post_cache",
+                      "prepared_edges"):
+            assert session.checker.cache_sizes()[table] <= cap

@@ -1,0 +1,210 @@
+"""Crash-safety of the disk-backed :class:`PrecisionStore`.
+
+The three failure modes the fault-tolerance issue names are pinned here:
+
+* a truncated/corrupted snapshot quarantines (``*.corrupt``) and the session
+  starts cold instead of crashing;
+* two sessions writing the same store concurrently both land their
+  predicates — the merge-on-write journal replaces last-writer-wins (the
+  in-process test below fails on the historical implementation);
+* a torn journal tail (a writer crashed mid-append) is detected by the
+  record framing and dropped, keeping every intact record.
+"""
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import PrecisionStore, Session, VerifierOptions
+from repro.core import faults
+from repro.core.faults import FaultPlan, FaultSpec, installed
+
+OPTIONS = VerifierOptions(max_refinements=8)
+
+
+def _store_with(tmp_path, program, filename="bank.pkl"):
+    """A saved single-program store on disk; returns its path."""
+    path = tmp_path / filename
+    Session(OPTIONS, store_path=path).run(program)
+    assert path.exists()
+    return path
+
+
+def _borrowed_payload(store):
+    """A small non-empty location payload (empty payloads never persist)."""
+    fingerprint = store.fingerprints()[0]
+    location, predicates = next(iter(store.payload(fingerprint).items()))
+    return {location: set(predicates[:1])}
+
+
+# ----------------------------------------------------------------------
+# Quarantine
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def test_truncated_snapshot_quarantined_and_cold(self, tmp_path):
+        """The regression from the issue: a torn write (truncated pickle)
+        used to raise at session start."""
+        path = _store_with(tmp_path, "forward")
+        faults.corrupt_file(path, keep_fraction=0.5)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            session = Session(OPTIONS, store_path=path)
+        assert len(session.store) == 0
+        assert (tmp_path / "bank.pkl.corrupt").exists()
+        # The session still works and re-banks a fresh snapshot.
+        assert session.run("forward").verdict == "safe"
+        assert path.exists()
+        assert len(PrecisionStore(path=path)) == 1
+
+    def test_repeated_quarantines_do_not_collide(self, tmp_path):
+        path = tmp_path / "bank.pkl"
+        for _ in range(3):
+            path.write_bytes(b"garbage")
+            with pytest.warns(RuntimeWarning):
+                PrecisionStore(path=path)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "bank.pkl.corrupt", "bank.pkl.corrupt.1", "bank.pkl.corrupt.2",
+            "bank.pkl.lock",
+        ]
+
+    def test_injected_corrupt_store_fault_quarantines(self, tmp_path):
+        path = _store_with(tmp_path, "forward")
+        plan = FaultPlan([FaultSpec(kind="corrupt-store", key="bank.pkl")])
+        with installed(plan):
+            with pytest.warns(RuntimeWarning, match="quarantined"):
+                store = PrecisionStore(path=path)
+        assert len(store) == 0
+        assert store.quarantined
+
+    def test_flaky_pickle_read_recovers_on_retry(self, tmp_path):
+        """A *transient* read error (flaky-pickle, first attempt only) must
+        recover via the retry, not quarantine a healthy file."""
+        path = _store_with(tmp_path, "forward")
+        plan = FaultPlan(
+            [FaultSpec(kind="flaky-pickle", key="bank.pkl", attempts=(0,))]
+        )
+        with installed(plan):
+            store = PrecisionStore(path=path)
+        assert len(store) == 1  # loaded fine on the second read
+        assert not store.quarantined
+        assert path.exists()
+
+
+# ----------------------------------------------------------------------
+# Concurrent sessions on one store
+# ----------------------------------------------------------------------
+class TestConcurrentMerge:
+    def test_two_sessions_both_land_their_predicates(self, tmp_path):
+        """The last-writer-wins regression: both stores open the same empty
+        path, then bank different programs.  Historically the second save
+        replaced the first's snapshot wholesale; merge-on-write must keep
+        both."""
+        path = tmp_path / "shared.pkl"
+        first = Session(OPTIONS, store_path=path)
+        second = Session(OPTIONS, store_path=path)  # loads the same (empty) disk
+        first.run("forward")
+        second.run("lock_step")
+        merged = PrecisionStore(path=path)
+        assert len(merged) == 2
+        expected = set(first.store.fingerprints()) | set(
+            second.store.fingerprints()
+        )
+        assert set(merged.fingerprints()) == expected
+        for fingerprint in expected:
+            assert merged.total_predicates(fingerprint) > 0
+
+    def test_save_folds_in_what_landed_since_load(self, tmp_path):
+        """Merge-on-write at the save() level, without journals: a plain
+        save must re-read the disk under the lock and union, not replace."""
+        path = tmp_path / "shared.pkl"
+        a = PrecisionStore()
+        b = PrecisionStore()
+        Session(OPTIONS, store=a).run("forward")
+        Session(OPTIONS, store=b).run("lock_step")
+        a.save(path)
+        b.save(path)  # historically this wiped a's fingerprint
+        assert len(PrecisionStore(path=path)) == 2
+
+    @pytest.mark.timeout(180)
+    def test_two_processes_merge_concurrently(self, tmp_path):
+        """The cross-process smoke: two interpreters bank different programs
+        into one store at the same time; both must survive."""
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro import Session, VerifierOptions\n"
+            "session = Session(VerifierOptions(max_refinements=8),\n"
+            "                  store_path=sys.argv[2])\n"
+            "result = session.run(sys.argv[3])\n"
+            "assert result.verdict == 'safe', result.verdict\n"
+        )
+        path = tmp_path / "shared.pkl"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, src, str(path), program],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            )
+            for program in ("forward", "lock_step")
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=150)
+            assert proc.returncode == 0, stderr.decode()
+        merged = PrecisionStore(path=path)
+        assert len(merged) == 2
+
+
+# ----------------------------------------------------------------------
+# The journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_torn_journal_tail_is_dropped(self, tmp_path):
+        path = _store_with(tmp_path, "forward")
+        store = PrecisionStore(path=path)
+        # Append an intact record for a second fingerprint, then a torn one.
+        store.merge("deadbeef00000000", _borrowed_payload(store))
+        store.bank("deadbeef00000000")
+        journal = store.journal_path
+        record = pickle.dumps(("cafebabe00000000", {}))
+        with open(journal, "ab") as handle:
+            handle.write(b"RJN1")
+            handle.write(len(record).to_bytes(4, "big"))
+            handle.write(record[: len(record) // 2])  # crashed mid-write
+        reloaded = PrecisionStore(path=path)
+        assert "deadbeef00000000" in reloaded.fingerprints()
+        assert "cafebabe00000000" not in reloaded.fingerprints()
+
+    def test_garbage_journal_bytes_do_not_crash(self, tmp_path):
+        path = _store_with(tmp_path, "forward")
+        journal = path.with_name(path.name + ".journal")
+        journal.write_bytes(b"this is not a journal")
+        reloaded = PrecisionStore(path=path)  # snapshot still loads
+        assert len(reloaded) == 1
+
+    def test_journal_compaction_folds_into_snapshot(self, tmp_path):
+        import repro.core.api as api_module
+
+        path = _store_with(tmp_path, "forward")
+        store = PrecisionStore(path=path)
+        original = api_module.JOURNAL_COMPACT_BYTES
+        api_module.JOURNAL_COMPACT_BYTES = 1  # force compaction on next bank
+        try:
+            store.merge("deadbeef00000000", _borrowed_payload(store))
+            store.bank("deadbeef00000000")
+        finally:
+            api_module.JOURNAL_COMPACT_BYTES = original
+        assert not store.journal_path.exists()  # folded into the snapshot
+        assert "deadbeef00000000" in PrecisionStore(path=path).fingerprints()
+
+    def test_lock_file_is_stable(self, tmp_path):
+        """The lock file must survive saves: flock is per-inode, and a lock
+        file that was replaced would no longer exclude anybody."""
+        path = _store_with(tmp_path, "forward")
+        lock = path.with_name(path.name + ".lock")
+        assert lock.exists()
+        inode = lock.stat().st_ino
+        store = PrecisionStore(path=path)
+        store.save()
+        assert lock.stat().st_ino == inode
