@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr6.json``.
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr7.json``.
 
-Six data sections feed the perf trajectory (``benchmarks/trend_diff.py``
-diffs the engine section of consecutive snapshots in CI):
+Seven data sections feed the perf trajectory (``benchmarks/trend_diff.py``
+diffs the engine and parallel sections of consecutive snapshots in CI):
 
 * ``pytest``      — every ``bench_e*.py`` benchmark run through
   pytest-benchmark (wall time per benchmark plus the experiment facts each
@@ -27,10 +27,15 @@ diffs the engine section of consecutive snapshots in CI):
   attempt counts plus the supervisor's recovery counters.  Its rows carry
   ``"fault_injected": true`` and are exempt from the trend check — the
   injected retries are deliberate wall-clock noise, not a regression.
+* ``parallel``    — sequential vs ``jobs=4`` intra-run parallel exploration
+  over the wide-ART programs: per program and mode the verdict, wall time,
+  abstract-post decisions and solver calls (bit-identical counters are the
+  design invariant — see bench_e11), plus the speculative pool's
+  offer/install counters for the parallel mode.
 
 Usage::
 
-    python benchmarks/run_all.py                  # full run, writes BENCH_pr6.json
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr7.json
     python benchmarks/run_all.py --skip-pytest    # direct sections only (fast)
     python benchmarks/run_all.py -o out.json
 """
@@ -394,11 +399,75 @@ def run_supervision_section() -> dict:
     return section
 
 
+#: The parallel section's corpus: the wide-ART programs of bench_e11, with
+#: per-program engine options.  PARTITION stops before its third refinement
+#: (pure refiner compute, see bench_e11's docstring).
+PARALLEL_PROGRAMS = [
+    ("forward", dict(max_refinements=8)),
+    ("initcheck", dict(max_refinements=8)),
+    ("partition", dict(max_refinements=2, max_nodes=40)),
+]
+
+#: Worker count of the parallel section's parallel mode.
+PARALLEL_JOBS = 4
+
+
+def run_parallel_section() -> list[dict]:
+    """Sequential vs ``jobs=4`` parallel exploration over the wide-ART suite.
+
+    The load-bearing numbers are the deterministic counters: the parallel
+    engine must post exactly the same abstract-post decisions and solver
+    calls as the sequential one (speculation is charged like inline work).
+    Raw wall time rides along; the latency-hiding speedup story lives in
+    bench_e11, which injects per-query solver latency to make it visible
+    on a single GIL-bound core.
+    """
+    records = []
+    for name, engine_kw in PARALLEL_PROGRAMS:
+        row: dict = {"program": name, "jobs": PARALLEL_JOBS, **engine_kw}
+        for jobs, label in ((1, "sequential"), (PARALLEL_JOBS, "parallel")):
+            options = VerifierOptions(jobs=jobs, warm_start=False, **engine_kw)
+            started = time.perf_counter()
+            result = Session(options).run(name)
+            solver = result.iterations[-1].solver_stats or {}
+            row[label] = {
+                "verdict": result.verdict,
+                "seconds": round(time.perf_counter() - started, 4),
+                "refinements": result.num_refinements,
+                "post_decisions": result.post_decisions(),
+                "solver_calls": (
+                    solver.get("sat_queries", 0) + solver.get("context_checks", 0)
+                ),
+                "triple_checks": solver.get("triple_checks", 0),
+            }
+            pool = result.engine_stats.get("parallel")
+            if pool is not None:
+                row[label]["pool"] = {
+                    key: pool[key]
+                    for key in ("offered", "chunks", "installed", "missed", "wasted")
+                }
+        row["verdicts_agree"] = (
+            row["sequential"]["verdict"] == row["parallel"]["verdict"]
+        )
+        row["posts_identical"] = (
+            row["sequential"]["post_decisions"] == row["parallel"]["post_decisions"]
+        )
+        records.append(row)
+        print(
+            f"  {name:18s} seq={row['sequential']['verdict']}/"
+            f"{row['sequential']['post_decisions']:5d} "
+            f"par(j{PARALLEL_JOBS})={row['parallel']['verdict']}/"
+            f"{row['parallel']['post_decisions']:5d} "
+            f"identical={row['posts_identical']}"
+        )
+    return records
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr6.json"),
-        help="where to write the JSON report (default: repo root BENCH_pr6.json)",
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr7.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr7.json)",
     )
     parser.add_argument(
         "--skip-pytest", action="store_true",
@@ -418,6 +487,8 @@ def main(argv=None) -> int:
     report["sections"]["session"] = run_session_section()
     print("supervision section (fault-injected supervised batch):")
     report["sections"]["supervision"] = run_supervision_section()
+    print(f"parallel section (sequential vs jobs={PARALLEL_JOBS} exploration):")
+    report["sections"]["parallel"] = run_parallel_section()
     if not args.skip_pytest:
         print("pytest section (bench_e*.py):")
         report["sections"]["pytest"] = run_pytest_section()
@@ -430,6 +501,11 @@ def main(argv=None) -> int:
         row["program"]
         for row in report["sections"]["engine"]
         if not row["verdicts_agree"]
+    ]
+    disagreements += [
+        f"{row['program']} (parallel)"
+        for row in report["sections"]["parallel"]
+        if not (row["verdicts_agree"] and row["posts_identical"])
     ]
     if disagreements:
         print(f"VERDICT DISAGREEMENTS: {disagreements}", file=sys.stderr)

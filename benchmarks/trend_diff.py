@@ -2,10 +2,11 @@
 """Diff the two newest ``BENCH_*.json`` snapshots and fail on perf drift.
 
 Each PR's benchmark run (``benchmarks/run_all.py``) leaves a ``BENCH_prN.json``
-snapshot in the repository root.  This script compares the *engine* sections
-of the two newest snapshots program by program and exits non-zero when any
-shared program regressed beyond a metric's threshold in either engine mode —
-the automated bench-trend check the ROADMAP asks for.
+snapshot in the repository root.  This script compares the *engine* section
+(incremental/restart modes) and the *parallel* section (sequential/parallel
+modes) of the two newest snapshots program by program and exits non-zero
+when any shared program regressed beyond a metric's threshold in either
+mode — the automated bench-trend check the ROADMAP asks for.
 
 Three metrics are diffed:
 
@@ -37,8 +38,11 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Engine modes whose metrics are trend-checked.
-MODES = ("incremental", "restart")
+#: Trend-checked sections and the per-row modes each one carries.
+SECTIONS = {
+    "engine": ("incremental", "restart"),
+    "parallel": ("sequential", "parallel"),
+}
 
 #: (metric key, threshold argparse attr, failing?) — the diffed metrics.
 METRICS = (
@@ -64,8 +68,8 @@ def bench_files(directory: Path) -> list[Path]:
     return [entry[3] for entry in entries]
 
 
-def engine_rows(path: Path) -> dict[str, dict]:
-    """The engine section of one snapshot, keyed by program name.
+def section_rows(path: Path, section: str) -> dict[str, dict]:
+    """One snapshot section's rows, keyed by program name.
 
     Rows flagged ``"fault_injected": true`` are exempt: their wall clock
     and retry counts measure the fault-injection harness (deliberate
@@ -75,7 +79,7 @@ def engine_rows(path: Path) -> dict[str, dict]:
         doc = json.loads(path.read_text())
     except json.JSONDecodeError as error:
         raise SystemExit(f"{path}: not valid JSON ({error})")
-    rows = doc.get("sections", {}).get("engine", [])
+    rows = doc.get("sections", {}).get(section, [])
     return {
         row["program"]: row
         for row in rows
@@ -87,47 +91,54 @@ def diff(
     old: Path, new: Path, thresholds: dict[str, float]
 ) -> tuple[list[str], list[str]]:
     """``(regressions, warnings)`` lines (both empty when the trend is clean)."""
-    old_rows, new_rows = engine_rows(old), engine_rows(new)
-    shared = sorted(set(old_rows) & set(new_rows))
-    if not shared:
-        print(f"note: {old.name} and {new.name} share no engine programs")
-        return [], []
     regressions: list[str] = []
     warnings: list[str] = []
-    print(
-        f"{'program':20s} {'mode':12s} {'metric':15s} "
-        f"{old.name:>14s} {new.name:>14s}  change"
-    )
-    for program in shared:
-        for mode in MODES:
-            for metric, attr, failing in METRICS:
-                before = old_rows[program].get(mode, {}).get(metric)
-                after = new_rows[program].get(mode, {}).get(metric)
-                if not before or after is None:
-                    continue
-                threshold = thresholds[attr]
-                change = after / before - 1
-                marker = ""
-                if change > threshold:
-                    line = (
-                        f"{program} [{mode}] {metric}: {before} -> {after} "
-                        f"({change:+.1%} > {threshold:.0%} threshold)"
+    header_printed = False
+    for section, modes in SECTIONS.items():
+        old_rows = section_rows(old, section)
+        new_rows = section_rows(new, section)
+        shared = sorted(set(old_rows) & set(new_rows))
+        if not shared:
+            print(
+                f"note: {old.name} and {new.name} share no {section} programs"
+            )
+            continue
+        if not header_printed:
+            print(
+                f"{'program':20s} {'mode':12s} {'metric':15s} "
+                f"{old.name:>14s} {new.name:>14s}  change"
+            )
+            header_printed = True
+        for program in shared:
+            for mode in modes:
+                for metric, attr, failing in METRICS:
+                    before = old_rows[program].get(mode, {}).get(metric)
+                    after = new_rows[program].get(mode, {}).get(metric)
+                    if not before or after is None:
+                        continue
+                    threshold = thresholds[attr]
+                    change = after / before - 1
+                    marker = ""
+                    if change > threshold:
+                        line = (
+                            f"{program} [{mode}] {metric}: {before} -> {after} "
+                            f"({change:+.1%} > {threshold:.0%} threshold)"
+                        )
+                        if failing:
+                            marker = "  REGRESSION"
+                            regressions.append(line)
+                        else:
+                            marker = "  WARNING (advisory)"
+                            warnings.append(line)
+                    rendered = (
+                        (f"{before:14.3f}", f"{after:14.3f}")
+                        if isinstance(before, float) or isinstance(after, float)
+                        else (f"{before:14d}", f"{after:14d}")
                     )
-                    if failing:
-                        marker = "  REGRESSION"
-                        regressions.append(line)
-                    else:
-                        marker = "  WARNING (advisory)"
-                        warnings.append(line)
-                rendered = (
-                    (f"{before:14.3f}", f"{after:14.3f}")
-                    if isinstance(before, float) or isinstance(after, float)
-                    else (f"{before:14d}", f"{after:14d}")
-                )
-                print(
-                    f"{program:20s} {mode:12s} {metric:15s} "
-                    f"{rendered[0]} {rendered[1]}  {change:+7.1%}{marker}"
-                )
+                    print(
+                        f"{program:20s} {mode:12s} {metric:15s} "
+                        f"{rendered[0]} {rendered[1]}  {change:+7.1%}{marker}"
+                    )
     return regressions, warnings
 
 

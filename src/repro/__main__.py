@@ -154,6 +154,10 @@ def _resolve_options(args: argparse.Namespace) -> VerifierOptions:
         overrides["warm_start"] = False
     if args.degrade_on_retry:
         overrides["degrade_on_retry"] = True
+    # Verify-only: intra-run exploration workers.  (batch's --jobs is the
+    # task-pool width, a different knob, so this is not in _FLAG_FIELDS.)
+    if getattr(args, "engine_jobs", None) is not None:
+        overrides["jobs"] = args.engine_jobs
     return options.replace(**overrides) if overrides else options
 
 
@@ -309,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_parser.add_argument("target", help="source file path or built-in program name")
     _add_engine_options(verify_parser)
+    verify_parser.add_argument(
+        "--jobs", dest="engine_jobs", type=int, default=None, metavar="N",
+        help="worker threads for intra-run parallel ART exploration "
+        "(default: 1 = sequential; results are bit-identical either way)",
+    )
     verify_parser.add_argument("--json", action="store_true", help="machine-readable output")
     verify_parser.add_argument(
         "--show-precision", action="store_true",

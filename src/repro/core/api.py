@@ -172,6 +172,13 @@ class VerifierOptions:
     #: Halve a task's resource budgets on each supervised retry.  Off by
     #: default: a degraded retry may legitimately return a weaker verdict.
     degrade_on_retry: bool = False
+    #: Worker count for intra-run parallel ART exploration (``1`` = strictly
+    #: sequential, no pool).  Verdicts, precisions and post-decision counts
+    #: are bit-identical for every value — workers only pre-compute solver
+    #: verdicts the sequential commit path then consumes as cache hits
+    #: (:mod:`repro.core.parallel`).  Distinct from the *batch* ``jobs=`` of
+    #: :meth:`Session.run_many`, which parallelises across tasks.
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         from .verifier import ENGINE_REFINER_NAMES, REFINER_NAMES
@@ -239,6 +246,8 @@ class VerifierOptions:
             )
         if self.task_retries < 0:
             raise ValueError(f"task_retries must be >= 0, got {self.task_retries}")
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
 
     # ------------------------------------------------------------------
     def budget(self) -> Budget:
@@ -889,6 +898,7 @@ class Session:
             budget=opts.budget(),
             incremental=opts.incremental,
             max_predicates_per_location=opts.max_predicates_per_location,
+            jobs=opts.jobs,
         )
 
     # ------------------------------------------------------------------
@@ -953,6 +963,7 @@ class Session:
                         "slice_refinements": opts.slice_refinements,
                         "slice_seconds": opts.slice_seconds,
                         "monitor_window": opts.monitor_window,
+                        "jobs": opts.jobs,
                         "seed": seed,
                         "ship_precision": True,
                     }

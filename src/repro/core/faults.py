@@ -52,6 +52,14 @@ kind                site                   effect when fired
                                            transient unpickling error (the
                                            load path retries, then
                                            quarantines)
+``slow-post``       ``post``               sleeps ``seconds`` per undecided
+                                           predicate of a batched
+                                           abstract-post then proceeds
+                                           normally (one straggling solver
+                                           query each; under
+                                           parallel exploration this models
+                                           a slow worker that the merge
+                                           barrier must wait out)
 ==================  =====================  ==================================
 
 Determinism: a spec with ``probability < 1`` gates on a SHA-256 of
@@ -86,12 +94,15 @@ __all__ = [
 ]
 
 #: Every fault kind a spec may name.
-FAULT_KINDS = ("crash", "hang", "slow", "error", "corrupt-store", "flaky-pickle")
+FAULT_KINDS = (
+    "crash", "hang", "slow", "error", "corrupt-store", "flaky-pickle", "slow-post",
+)
 
 #: Instrumented sites and the kinds that fire there.
 FAULT_SITES = {
     "task": ("crash", "hang", "slow", "error"),
     "store-load": ("corrupt-store", "flaky-pickle"),
+    "post": ("slow-post",),
 }
 
 #: Exit status of an injected worker crash — distinctive enough that a test
@@ -302,6 +313,11 @@ def fire(
     past any reasonable timeout (or raises :class:`InjectedHang` in-process),
     ``slow`` sleeps and returns, ``error`` raises :class:`InjectedError`.
 
+    ``post``-site ``slow-post`` sleeps once per undecided predicate of an
+    abstract-post batch and returns — a straggling solver query (fires in
+    whichever thread runs the decision, so a parallel worker shard can be
+    made the straggler by key).
+
     ``store-load``-site faults are *returned* instead — the store owns the
     file being corrupted, so it applies the effect itself.
 
@@ -327,7 +343,7 @@ def fire(
             time.sleep(spec.seconds)
             os._exit(CRASH_EXIT_CODE)  # a "hang" never returns a result
         raise InjectedHang(f"injected hang (key={spec.key!r}, attempt {attempt})")
-    if spec.kind == "slow":
+    if spec.kind in ("slow", "slow-post"):
         time.sleep(spec.seconds)
         return spec
     if spec.kind == "error":

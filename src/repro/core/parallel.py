@@ -1,0 +1,355 @@
+"""Intra-run parallel ART exploration: speculative decide, sequential commit.
+
+The batched abstract-post oracle (PR 5) made each frontier expansion a
+self-contained unit of solver work keyed by ``(source-state, transition)``:
+one edge-feasibility check plus one batched predicate family, with verdicts
+that depend on nothing but that key — never on the precision, the tree shape
+or the exploration order.  That is exactly the shape of work that can be
+*speculated*: decided ahead of time, on any solver, in any order, without
+changing what the engine concludes.
+
+:class:`SpeculativePool` exploits this.  A pool of workers (threads by
+default; a process backend behind the same interface) each owns a private
+:class:`~repro.smt.vcgen.VcChecker` *shard* — its own ``SmtSolver``, its own
+prepared-edge contexts, its own memo tables — so workers never contend on
+solver state.  The protocol:
+
+* **offer** — every obligation entering the frontier is offered to the pool
+  (:meth:`Art._enqueue_all` calls :meth:`offer`).  The offer captures the
+  obligation's immutable inputs *at push time*: the source state (a
+  frozenset), the transition, and the frame-filtered predicate list under
+  the current precision (via
+  :func:`~repro.core.predabs.split_frame_predicates`, the same pure filter
+  the commit path applies).  The predicate family is *column-sharded*: it
+  is split into up to ``jobs`` chunks, one future per chunk, so a single
+  wide batch — the common shape on chain-like ARTs where only one
+  obligation is pending at a time — still spreads across every shard.
+  Workers decide only posts; edge feasibility stays with the commit path
+  (it is one unsharded query, and it gates whether the posts are needed).
+
+* **install (the merge lock)** — the commit path is the *unchanged
+  sequential explore loop* on the main thread.  Just before
+  :meth:`Art._expand_edge` queries the shared checker, it claims the
+  obligation's chunks: first the edge verdict is decided on the *shared*
+  checker (the exact query, and the exact budget charge, the commit was
+  about to make — afterwards the commit's own call is a cache hit).  An
+  infeasible edge discards the chunks unmerged; a feasible one awaits each
+  chunk future — queued chunks are awaited too, not cancelled, so the
+  pool's shards (not the main thread) pay the decide latency — and merges
+  the verdicts into the shared checker's memo tables
+  (:meth:`VcChecker.install_speculated`), turning the commit's queries
+  into cache hits.  Because the shared ``Art`` is only ever mutated by the
+  main thread, the single merge lock degenerates to the claim-and-install
+  step — workers communicate results exclusively through futures.
+
+* **barrier** — a discovered counterexample or a refinement drains the pool:
+  pending futures are cancelled, in-flight ones awaited and *discarded*
+  (installing them would pre-warm caches the sequential engine never
+  warmed, skewing budget counters), ``apply_refinement`` runs sequentially,
+  and :meth:`prime` re-offers the surviving frontier under the grown
+  precision.
+
+**Determinism guarantee.**  Verdicts, precisions, refinement pivots, node
+ids and ``post_decisions`` are bit-identical to the sequential engine, for
+every strategy and refiner: the commit path *is* the sequential algorithm —
+workers only pre-compute answers the commit would have computed itself, and
+both decide each ``(state, transition, predicate)`` triple by the same
+deterministic procedure.  Speculation can be wasted (an obligation pruned by
+coverage, a stale epoch) but never wrong, and never observable in the
+result.  Budget fidelity: each installed verdict counts as one
+``num_triple_checks`` on the shared checker — the same price the sequential
+engine pays — so ``max_solver_calls`` budgets trip at the same point.
+
+The speedup comes from latency hiding: while the main thread commits one
+obligation, workers are already deciding the next ones.  With the CPython
+GIL, wall-clock gains on a single core require the solver work to release
+the interpreter (I/O, sleeps, or future C-level solving); on multi-core
+interpreters and for the process backend the shards run truly concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from ..logic.formulas import Formula
+from ..smt.vcgen import VcChecker
+from .predabs import Art, ArtNode, Precision, split_frame_predicates
+
+__all__ = ["PARALLEL_BACKENDS", "SpeculativePool"]
+
+#: Supported worker backends.  ``thread`` shards the checker per worker
+#: thread (cheap, shares hash-consed formulas under the intern lock);
+#: ``process`` ships pickled obligations to worker processes, each with its
+#: own interpreter and checker (no GIL, higher per-obligation cost).
+PARALLEL_BACKENDS = ("thread", "process")
+
+
+# ----------------------------------------------------------------------
+# Process backend plumbing (module level: must be picklable by name)
+# ----------------------------------------------------------------------
+_PROCESS_SHARD: Optional[VcChecker] = None
+
+
+def _init_process_shard(settings: dict) -> None:
+    global _PROCESS_SHARD
+    _PROCESS_SHARD = VcChecker(**settings)
+
+
+def _process_speculate(
+    state: frozenset, transition, predicates: tuple
+) -> tuple[bool, ...]:
+    """Worker-process task: decide one predicate chunk on the process shard.
+
+    Formulas and transitions re-intern on unpickling (``__reduce__``), and
+    only booleans travel back — the parent zips them with its own predicate
+    objects, so no formula identity ever crosses the process boundary.
+    """
+    assert _PROCESS_SHARD is not None
+    return _speculate(_PROCESS_SHARD, state, transition, predicates)
+
+
+def _speculate(
+    shard: VcChecker, state: frozenset, transition, predicates: Sequence[Formula]
+) -> tuple[bool, ...]:
+    """Decide one chunk of an obligation's post family on ``shard``.
+
+    Verdicts depend only on the ``(state, transition, predicate)`` triple —
+    never on which shard decides them or how the family was chunked — so
+    the answers are bit-identical to the commit path's own oracle.
+    """
+    verdicts = shard.post_all_predicates(state, transition, predicates)
+    return tuple(verdicts[predicate] for predicate in predicates)
+
+
+class SpeculativePool:
+    """A worker pool that pre-decides frontier obligations on checker shards.
+
+    Attach to a tree by setting ``art.speculator = pool`` and calling
+    :meth:`prime`; detach (and release worker solvers) with
+    :meth:`shutdown`.  All public methods are main-thread-only — worker
+    threads touch nothing but their own shard and the future they resolve.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        checker: VcChecker,
+        backend: str = "thread",
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {backend!r}; expected one of "
+                f"{PARALLEL_BACKENDS}"
+            )
+        self.jobs = jobs
+        self.backend = backend
+        self._checker = checker
+        self._shard_settings = {
+            "integer_mode": checker.solver.integer_mode,
+            "bb_limit": checker.solver.bb_limit,
+            "max_cache_entries": checker.max_cache_entries,
+            "batched_posts": checker.batched_posts,
+        }
+        self._precision: Optional[Precision] = None
+        #: Claimable speculation, keyed by ``(state, transition)``:
+        #: ``key -> ((future, chunk-predicates), ...)`` — one entry per
+        #: column chunk of the obligation's post family.
+        self._futures: dict[
+            tuple, tuple[tuple[Future, tuple[Formula, ...]], ...]
+        ] = {}
+        self._executor = None
+        # Thread backend: one lazily created shard per worker thread.
+        self._local = threading.local()
+        self._shards: list[VcChecker] = []
+        self._shards_lock = threading.Lock()
+        # Counters (main-thread-only mutation).
+        self.offered = 0
+        self.chunks = 0
+        self.deduplicated = 0
+        self.installed = 0
+        self.missed = 0
+        self.wasted = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.backend == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="repro-spec"
+                )
+            else:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_process_shard,
+                    initargs=(self._shard_settings,),
+                )
+        return self._executor
+
+    def _thread_shard(self) -> VcChecker:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = VcChecker(**self._shard_settings)
+            self._local.shard = shard
+            with self._shards_lock:
+                self._shards.append(shard)
+        return shard
+
+    def _thread_speculate(self, state, transition, predicates):
+        return _speculate(self._thread_shard(), state, transition, predicates)
+
+    # ------------------------------------------------------------------
+    # Main-thread protocol
+    # ------------------------------------------------------------------
+    def set_precision(self, precision: Precision) -> None:
+        """The live precision offers read their predicate lists from."""
+        self._precision = precision
+
+    def offer(self, node: ArtNode, transition) -> None:
+        """Speculate one obligation (called as it enters the frontier).
+
+        Captures every input immutably at offer time and column-shards the
+        frame-filtered predicate family into up to ``jobs`` chunks, one
+        future each.  An obligation whose family is empty (nothing for the
+        oracle to decide) is not offered; duplicate keys (the same abstract
+        state re-offered after an epoch bump) reuse the existing futures.
+        """
+        if self._precision is None:
+            return
+        key = (node.state, transition)
+        if key in self._futures:
+            self.deduplicated += 1
+            return
+        predicates = tuple(
+            split_frame_predicates(
+                node.state,
+                transition,
+                self._precision.predicates_at(transition.target),
+            )[1]
+        )
+        if not predicates:
+            return
+        task = (
+            self._thread_speculate if self.backend == "thread" else _process_speculate
+        )
+        executor = self._ensure_executor()
+        shard_count = min(self.jobs, len(predicates))
+        entries = []
+        for start in range(shard_count):
+            chunk = predicates[start::shard_count]
+            entries.append(
+                (executor.submit(task, node.state, transition, chunk), chunk)
+            )
+        self._futures[key] = tuple(entries)
+        self.offered += 1
+        self.chunks += len(entries)
+
+    def install(self, state: frozenset, transition) -> bool:
+        """Claim an obligation's speculation and merge it into the checker.
+
+        Returns ``True`` when verdicts were installed.  The edge verdict is
+        decided here on the shared checker — the identical query (and the
+        identical budget charge) the commit was about to make, so its own
+        call becomes a cache hit.  An infeasible edge discards the chunks
+        unmerged: the commit never asks for those posts, and installing
+        them would pre-warm the memo beyond what the sequential engine
+        pays.  On a feasible edge every chunk is awaited — queued chunks
+        included, so the shards (not the main thread) absorb the decide
+        latency; that wait is the straggling-worker window the
+        ``slow-post`` fault exercises.
+        """
+        entries = self._futures.pop((state, transition), None)
+        if entries is None:
+            self.missed += 1
+            return False
+        if not self._checker.edge_feasible(state, transition):
+            self._discard(entries)
+            self.wasted += 1
+            return False
+        merged = False
+        for future, chunk in entries:
+            try:
+                verdict_bits = future.result()
+            except Exception:
+                # A worker failure is never fatal: the commit just decides
+                # the chunk inline.  (Process backend: a dead worker or an
+                # unpicklable edge.)
+                self.failed += 1
+                continue
+            self._checker.install_speculated(
+                state, transition, None, dict(zip(chunk, verdict_bits))
+            )
+            merged = True
+        if merged:
+            self.installed += 1
+        return merged
+
+    def _discard(self, entries) -> None:
+        for future, _ in entries:
+            if not future.cancel():
+                try:
+                    future.result()
+                except Exception:
+                    self.failed += 1
+
+    def drain(self) -> None:
+        """The refinement/counterexample barrier: cancel or wait out workers.
+
+        In-flight results are discarded rather than installed — installing
+        work the sequential engine never requested would pre-warm its memo
+        and skew the budget counters the two modes are proven equal on.
+        """
+        for entries in self._futures.values():
+            self._discard(entries)
+        self.wasted += len(self._futures)
+        self._futures.clear()
+
+    def prime(self, art: Art) -> None:
+        """(Re-)offer every still-valid pending obligation of ``art``.
+
+        Called when the pool is attached and after each refinement barrier:
+        the frontier survives refinement repair, but its speculation was
+        drained, so the pipeline restarts here.
+        """
+        for node, transition, epoch in art.frontier.pending():
+            if node.removed or node.covered_by is not None or epoch != node.epoch:
+                continue
+            self.offer(node, transition)
+
+    def shutdown(self) -> None:
+        """Drain and release the workers (and their solver shards)."""
+        self.drain()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict:
+        """Pool counters plus aggregated shard solver counters."""
+        stats = {
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "offered": self.offered,
+            "chunks": self.chunks,
+            "deduplicated": self.deduplicated,
+            "installed": self.installed,
+            "missed": self.missed,
+            "wasted": self.wasted,
+            "failed": self.failed,
+            "shards": len(self._shards),
+        }
+        if self._shards:
+            aggregate: dict[str, float] = {}
+            for shard in self._shards:
+                for key, value in shard.statistics().items():
+                    if isinstance(value, (int, float)):
+                        aggregate[key] = aggregate.get(key, 0) + value
+            stats["shard_totals"] = {
+                key: round(value, 6) if isinstance(value, float) else value
+                for key, value in sorted(aggregate.items())
+            }
+        return stats

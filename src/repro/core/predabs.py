@@ -70,6 +70,7 @@ __all__ = [
     "ErrorDistanceFrontier",
     "make_frontier",
     "FRONTIER_NAMES",
+    "split_frame_predicates",
 ]
 
 
@@ -327,16 +328,20 @@ class ErrorDistanceFrontier(Frontier):
     """Best-first by static distance to the error location.
 
     The distance map is a reverse BFS over the CFG; obligations whose target
-    is closer to the error location are expanded first, with FIFO order as
-    the deterministic tie-break.  Locations that cannot reach the error at
-    all are explored last (they can only contribute coverage).
+    is closer to the error location are expanded first.  Equal-rank
+    obligations are ordered by the *stable node id* of their source — not by
+    insertion order — so a parallel run (whose workers may re-offer
+    obligations in a different order) and a sequential run pop the same
+    obligation and ultimately refine the same pivot.  The insertion counter
+    remains only as the final tie-break among multiple outgoing transitions
+    of one node, where push order is deterministic (CFG declaration order).
     """
 
     name = "error-distance"
 
     def __init__(self, program: Program) -> None:
         self._distance = self._distances(program)
-        self._heap: list[tuple[int, int, _Obligation]] = []
+        self._heap: list[tuple[int, int, int, _Obligation]] = []
         self._counter = 0
 
     @staticmethod
@@ -357,15 +362,18 @@ class ErrorDistanceFrontier(Frontier):
     def push(self, node: ArtNode, transition: Transition) -> None:
         rank = self._distance.get(transition.target, len(self._distance) + 1)
         self._counter += 1
-        heapq.heappush(self._heap, (rank, self._counter, (node, transition, node.epoch)))
+        heapq.heappush(
+            self._heap,
+            (rank, node.node_id, self._counter, (node, transition, node.epoch)),
+        )
 
     def pop(self) -> Optional[_Obligation]:
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)[2]
+        return heapq.heappop(self._heap)[3]
 
     def pending(self) -> list[_Obligation]:
-        return [entry for _, _, entry in self._heap]
+        return [entry for _, _, _, entry in self._heap]
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -383,6 +391,41 @@ def make_frontier(name: str, program: Program) -> Frontier:
     if name == "error-distance":
         return ErrorDistanceFrontier(program)
     raise ValueError(f"unknown exploration strategy {name!r}; expected one of {FRONTIER_NAMES}")
+
+
+# ----------------------------------------------------------------------
+# The Cartesian-post frame rule, shared by the ART and parallel workers
+# ----------------------------------------------------------------------
+def split_frame_predicates(
+    state: frozenset[Formula],
+    transition: Transition,
+    predicates: Iterable[Formula],
+) -> tuple[list[Formula], list[Formula]]:
+    """Split ``predicates`` into ``(carried, undecided)`` across ``transition``.
+
+    ``carried`` are the predicates the frame rule settles for free: they
+    already hold in ``state`` and none of their variables or arrays is
+    written by the transition, so they keep holding.  ``undecided`` is
+    everything else — the part that needs the abstract-post oracle.  Pure
+    and deterministic, which is why both :meth:`Art._cartesian_post` and the
+    speculative workers of :mod:`repro.core.parallel` can apply it
+    independently and agree on exactly which predicates reach the solver.
+    """
+    written: Optional[set[str]] = None
+    carried: list[Formula] = []
+    undecided: list[Formula] = []
+    for predicate in predicates:
+        if predicate in state:
+            if written is None:
+                written = set()
+                for command in transition.commands:
+                    written |= command_writes(command)
+            touched = {v.name for v in predicate.variables()} | predicate.arrays()
+            if not touched & written:
+                carried.append(predicate)
+                continue
+        undecided.append(predicate)
+    return carried, undecided
 
 
 # ----------------------------------------------------------------------
@@ -424,6 +467,14 @@ class Art:
         self.checker = checker or VcChecker()
         # Not `frontier or ...`: an empty frontier is falsy via __len__.
         self.frontier = frontier if frontier is not None else BfsFrontier()
+        #: Optional speculative-execution hook (duck-typed; in practice a
+        #: :class:`repro.core.parallel.SpeculativePool`).  When set, every
+        #: obligation entering the frontier is also *offered* to it
+        #: (``offer(node, transition)``), and :meth:`_expand_edge` asks it to
+        #: ``install(state, transition)`` speculated verdicts into the shared
+        #: checker just before deciding the edge — the commit then runs the
+        #: unchanged sequential algorithm against a pre-warmed memo.
+        self.speculator = None
         self._outgoing: dict[Location, list[Transition]] = {}
         for transition in program.transitions:
             self._outgoing.setdefault(transition.source, []).append(transition)
@@ -514,6 +565,13 @@ class Art:
         """Compute the Cartesian post along one edge; attach and index the child."""
         self.edges_expanded += 1
         self.post_decisions += 1
+        if self.speculator is not None:
+            # Merge point of parallel exploration: claim this obligation's
+            # speculated verdicts (blocking on an in-flight worker if need
+            # be) so the checker calls below become cache hits.  Verdict
+            # order and counters stay exactly sequential — see
+            # repro.core.parallel for the protocol.
+            self.speculator.install(node.state, transition)
         if not self.checker.edge_feasible(node.state, transition):
             return None
         successor_state = self._cartesian_post(node.state, transition, precision)
@@ -554,22 +612,10 @@ class Art:
         """
         if predicates is None:
             predicates = precision.predicates_at(transition.target)
-        written: Optional[set[str]] = None
-        successors: set[Formula] = set()
-        undecided: list[Formula] = []
-        for predicate in predicates:
-            # Frame rule shortcut: a predicate that already holds and whose
-            # variables/arrays are untouched by the transition keeps holding.
-            if predicate in state:
-                if written is None:
-                    written = set()
-                    for command in transition.commands:
-                        written |= command_writes(command)
-                touched = {v.name for v in predicate.variables()} | predicate.arrays()
-                if not touched & written:
-                    successors.add(predicate)
-                    continue
-            undecided.append(predicate)
+        # Frame rule shortcut: a predicate that already holds and whose
+        # variables/arrays are untouched by the transition keeps holding.
+        carried, undecided = split_frame_predicates(state, transition, predicates)
+        successors: set[Formula] = set(carried)
         if undecided:
             # One batched query for the whole edge: the checker answers memo
             # hits from the post cache and decides the rest inside a single
@@ -618,6 +664,8 @@ class Art:
     def _enqueue_all(self, node: ArtNode) -> None:
         for transition in self._outgoing.get(node.location, []):
             self.frontier.push(node, transition)
+            if self.speculator is not None:
+                self.speculator.offer(node, transition)
 
     # ------------------------------------------------------------------
     # Refinement repair (pivot invalidation + delta recheck)

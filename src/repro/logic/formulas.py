@@ -25,7 +25,7 @@ from enum import Enum
 from fractions import Fraction
 from typing import Iterable, Mapping
 
-from .terms import ArrayRead, Atomic, LinExpr, Rat, Var, coerce_expr
+from .terms import INTERN_LOCK, ArrayRead, Atomic, LinExpr, Rat, Var, coerce_expr
 
 __all__ = [
     "Relation",
@@ -172,11 +172,15 @@ class BoolConst(Formula):
         cached = cls._intern.get(value)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.value = value
-        self._init_caches(hash((BoolConst, value)))
-        cls._intern[value] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(value)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.value = value
+            self._init_caches(hash((BoolConst, value)))
+            cls._intern[value] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -240,12 +244,16 @@ class Atom(Formula):
         cached = cls._intern.get(key)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.expr = expr
-        self.rel = rel
-        self._init_caches(hash((Atom, expr, rel)))
-        cls._intern[key] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(key)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.expr = expr
+            self.rel = rel
+            self._init_caches(hash((Atom, expr, rel)))
+            cls._intern[key] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -318,11 +326,15 @@ class And(Formula):
         cached = cls._intern.get(args)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.args = args
-        self._init_caches(hash((And, args)))
-        cls._intern[args] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(args)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.args = args
+            self._init_caches(hash((And, args)))
+            cls._intern[args] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -387,11 +399,15 @@ class Or(Formula):
         cached = cls._intern.get(args)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.args = args
-        self._init_caches(hash((Or, args)))
-        cls._intern[args] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(args)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.args = args
+            self._init_caches(hash((Or, args)))
+            cls._intern[args] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -456,11 +472,15 @@ class Not(Formula):
         cached = cls._intern.get(arg)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.arg = arg
-        self._init_caches(hash((Not, arg)))
-        cls._intern[arg] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(arg)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.arg = arg
+            self._init_caches(hash((Not, arg)))
+            cls._intern[arg] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -523,12 +543,16 @@ class Forall(Formula):
         cached = cls._intern.get(key)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.index = index
-        self.body = body
-        self._init_caches(hash((Forall, index, body)))
-        cls._intern[key] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(key)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.index = index
+            self.body = body
+            self._init_caches(hash((Forall, index, body)))
+            cls._intern[key] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -589,11 +613,12 @@ def clear_formula_intern_caches() -> None:
 
     The ``TRUE``/``FALSE`` singletons stay interned on purpose.
     """
-    Atom._intern.clear()
-    And._intern.clear()
-    Or._intern.clear()
-    Not._intern.clear()
-    Forall._intern.clear()
+    with INTERN_LOCK:
+        Atom._intern.clear()
+        And._intern.clear()
+        Or._intern.clear()
+        Not._intern.clear()
+        Forall._intern.clear()
 
 
 # ----------------------------------------------------------------------

@@ -23,10 +23,22 @@ depends on rounding.
 
 from __future__ import annotations
 
+import threading
 from fractions import Fraction
 from typing import Iterable, Mapping, Union
 
+#: Guards every hash-consing intern table in the logic layer (terms *and*
+#: formulas — :mod:`repro.logic.formulas` imports this same lock).  Lookups
+#: stay lock-free (``dict.get`` is atomic under CPython); only the miss path
+#: takes the lock and re-checks, so single-threaded construction pays one
+#: uncontended acquire per *new* object and nothing per hit.  Without the
+#: lock, two threads interning the same key could both insert — equality
+#: would survive (``__eq__`` falls back to structure) but the identity
+#: guarantee ``Var("x") is Var("x")`` would not.
+INTERN_LOCK = threading.RLock()
+
 __all__ = [
+    "INTERN_LOCK",
     "Var",
     "ArrayRead",
     "Atomic",
@@ -70,11 +82,15 @@ class Var:
         cached = cls._intern.get(name)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.name = name
-        self._hash = hash((Var, name))
-        cls._intern[name] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(name)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.name = name
+            self._hash = hash((Var, name))
+            cls._intern[name] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         # Interning makes identity the common case; the structural fallback
@@ -149,12 +165,16 @@ class ArrayRead:
         cached = cls._intern.get(key)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.array = array
-        self.index = index
-        self._hash = hash((ArrayRead, array, index))
-        cls._intern[key] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(key)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.array = array
+            self.index = index
+            self._hash = hash((ArrayRead, array, index))
+            cls._intern[key] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -214,14 +234,18 @@ class LinExpr:
         cached = cls._intern.get(key)
         if cached is not None:
             return cached
-        self = object.__new__(cls)
-        self.terms = terms
-        self.const = const
-        self._hash = hash(key)
-        self._variables = None
-        self._array_reads = None
-        cls._intern[key] = self
-        return self
+        with INTERN_LOCK:
+            cached = cls._intern.get(key)
+            if cached is not None:
+                return cached
+            self = object.__new__(cls)
+            self.terms = terms
+            self.const = const
+            self._hash = hash(key)
+            self._variables = None
+            self._array_reads = None
+            cls._intern[key] = self
+            return self
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -479,11 +503,12 @@ def clear_intern_caches() -> None:
     table generation because the canonical constructors always re-intern).
     Caches registered via :func:`register_intern_cache` are cleared too.
     """
-    Var._intern.clear()
-    ArrayRead._intern.clear()
-    LinExpr._intern.clear()
-    for clear in _dependent_caches:
-        clear()
+    with INTERN_LOCK:
+        Var._intern.clear()
+        ArrayRead._intern.clear()
+        LinExpr._intern.clear()
+        for clear in _dependent_caches:
+            clear()
 
 
 # ----------------------------------------------------------------------
