@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr7.json``.
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr8.json``.
 
-Seven data sections feed the perf trajectory (``benchmarks/trend_diff.py``
+Eight data sections feed the perf trajectory (``benchmarks/trend_diff.py``
 diffs the engine and parallel sections of consecutive snapshots in CI):
 
 * ``pytest``      — every ``bench_e*.py`` benchmark run through
@@ -32,10 +32,15 @@ diffs the engine and parallel sections of consecutive snapshots in CI):
   abstract-post decisions and solver calls (bit-identical counters are the
   design invariant — see bench_e11), plus the speculative pool's
   offer/install counters for the parallel mode.
+* ``fuzz``        — a fixed-seed differential-fuzz batch through every
+  paired-configuration oracle (``repro.testgen``): per oracle the program
+  count, mismatch count and both sides' total abstract-post decisions,
+  plus a summary row (programs generated, total mismatches, mean posts).
+  Any mismatch fails the run, like a verdict disagreement.
 
 Usage::
 
-    python benchmarks/run_all.py                  # full run, writes BENCH_pr7.json
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr8.json
     python benchmarks/run_all.py --skip-pytest    # direct sections only (fast)
     python benchmarks/run_all.py -o out.json
 """
@@ -463,11 +468,69 @@ def run_parallel_section() -> list[dict]:
     return records
 
 
+#: The fuzz section's fixed recipe: same seed every snapshot, so the
+#: per-oracle post-decision totals are comparable across PRs.
+FUZZ_SEED = 1
+FUZZ_COUNT = 40
+
+
+def run_fuzz_section() -> list[dict]:
+    """A fixed-seed differential-fuzz batch through every oracle.
+
+    One row per oracle in the trend layout (``baseline``/``variant`` sides
+    with ``post_decisions``), plus a ``summary`` row with batch-level
+    facts.  Any mismatch fails the benchmark run, like a verdict
+    disagreement in the engine section.
+    """
+    from repro.testgen import run_fuzz
+
+    report = run_fuzz(seed=FUZZ_SEED, count=FUZZ_COUNT)
+    rows = []
+    for oracle in report.oracles:
+        totals = report.oracle_totals[oracle]
+        mismatches = sum(1 for m in report.mismatches if m.oracle == oracle)
+        rows.append(
+            {
+                "program": f"fuzz:{oracle}",
+                "count": totals["programs"],
+                "mismatches": mismatches,
+                "baseline": {
+                    "post_decisions": totals["reference_posts"],
+                    "seconds": totals["seconds"],
+                },
+                "variant": {"post_decisions": totals["variant_posts"]},
+            }
+        )
+        print(
+            f"  {oracle:12s} {totals['programs']:3d} programs "
+            f"posts={totals['reference_posts']}/{totals['variant_posts']} "
+            f"mismatches={mismatches} ({totals['seconds']}s)"
+        )
+    rows.append(
+        {
+            "program": "summary",
+            "programs_generated": len(report.programs),
+            "total_mismatches": len(report.mismatches),
+            "divergences": report.divergences,
+            "verdicts": report.verdicts,
+            "mean_posts": report.mean_posts(),
+            "seconds": round(report.seconds, 3),
+        }
+    )
+    print(
+        f"  total: {len(report.programs)} programs, "
+        f"{len(report.mismatches)} mismatches, "
+        f"{report.divergences} explained divergences, "
+        f"mean posts {report.mean_posts()}"
+    )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr7.json"),
-        help="where to write the JSON report (default: repo root BENCH_pr7.json)",
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr8.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr8.json)",
     )
     parser.add_argument(
         "--skip-pytest", action="store_true",
@@ -489,6 +552,8 @@ def main(argv=None) -> int:
     report["sections"]["supervision"] = run_supervision_section()
     print(f"parallel section (sequential vs jobs={PARALLEL_JOBS} exploration):")
     report["sections"]["parallel"] = run_parallel_section()
+    print(f"fuzz section (seed={FUZZ_SEED}, {FUZZ_COUNT} programs, all oracles):")
+    report["sections"]["fuzz"] = run_fuzz_section()
     if not args.skip_pytest:
         print("pytest section (bench_e*.py):")
         report["sections"]["pytest"] = run_pytest_section()
@@ -506,6 +571,11 @@ def main(argv=None) -> int:
         f"{row['program']} (parallel)"
         for row in report["sections"]["parallel"]
         if not (row["verdicts_agree"] and row["posts_identical"])
+    ]
+    disagreements += [
+        f"{row['program']} ({row['mismatches']} fuzz mismatches)"
+        for row in report["sections"]["fuzz"]
+        if row.get("mismatches")
     ]
     if disagreements:
         print(f"VERDICT DISAGREEMENTS: {disagreements}", file=sys.stderr)

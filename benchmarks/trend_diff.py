@@ -3,8 +3,9 @@
 
 Each PR's benchmark run (``benchmarks/run_all.py``) leaves a ``BENCH_prN.json``
 snapshot in the repository root.  This script compares the *engine* section
-(incremental/restart modes) and the *parallel* section (sequential/parallel
-modes) of the two newest snapshots program by program and exits non-zero
+(incremental/restart modes), the *parallel* section (sequential/parallel
+modes) and the *fuzz* section (per-oracle fixed-seed differential batches)
+of the two newest snapshots program by program and exits non-zero
 when any shared program regressed beyond a metric's threshold in either
 mode — the automated bench-trend check the ROADMAP asks for.
 
@@ -42,6 +43,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SECTIONS = {
     "engine": ("incremental", "restart"),
     "parallel": ("sequential", "parallel"),
+    # Differential-fuzz rows (one per oracle, fixed seed, so the counters
+    # are comparable across snapshots); older snapshots without the
+    # section just print a "share no programs" note.
+    "fuzz": ("baseline", "variant"),
 }
 
 #: (metric key, threshold argparse attr, failing?) — the diffed metrics.

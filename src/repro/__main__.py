@@ -18,6 +18,14 @@ Three subcommands drive the verification session API:
     Exit code: 0 when every task verified (safe or unsafe — a *verdict* is a
     success), 2 when any task came back unknown or errored.
 
+``repro fuzz``
+    Differential fuzzing: generate a seeded corpus of well-typed programs
+    and run each through paired engine configurations (batched vs scalar
+    posts, incremental vs restart, parallel vs sequential, portfolio vs
+    winning arm), asserting the equivalence contracts the engine
+    guarantees.  Any violation is shrunk to a 1-minimal reproducer.
+    Exit code: 0 clean, 1 mismatches found, 3 usage error.
+
 ``repro list``
     List the built-in benchmark programs.
 
@@ -44,6 +52,7 @@ from .core.engine import (
 from .core.predabs import FRONTIER_NAMES
 from .core.verifier import ENGINE_REFINER_NAMES
 from .lang.programs import PROGRAMS
+from .testgen.differential import ORACLES as _ORACLE_NAMES
 
 EXIT_SAFE = 0
 EXIT_UNSAFE = 1
@@ -264,6 +273,47 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return EXIT_SAFE if decided else EXIT_UNKNOWN
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testgen import run_fuzz
+    from .testgen.differential import fuzz_options
+    from .testgen.generator import GenConfig
+
+    oracles = _ORACLE_NAMES if args.oracle == "all" else (args.oracle,)
+    try:
+        options = fuzz_options(
+            max_refinements=args.max_refinements,
+            max_nodes=args.max_nodes,
+            max_solver_calls=args.max_solver_calls,
+        )
+        config = GenConfig(statements=args.statements, max_depth=args.max_depth)
+        report = run_fuzz(
+            seed=args.seed,
+            count=args.count,
+            oracles=oracles,
+            options=options,
+            config=config,
+            plant_every=args.plant_every,
+            shrink=not args.no_shrink,
+            corpus_dir=args.corpus_dir,
+            log=None if args.json else lambda line: print(line, file=sys.stderr),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        print(report.summary())
+        for mismatch in report.mismatches:
+            print(
+                f"  seed {mismatch.seed}: {mismatch.oracle}/{mismatch.kind} "
+                f"- {mismatch.detail}"
+                + (f" -> {mismatch.corpus_path}" if mismatch.corpus_path else "")
+            )
+    return EXIT_SAFE if report.clean else EXIT_UNSAFE
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     for name in sorted(PROGRAMS):
         program = PROGRAMS[name]
@@ -339,6 +389,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", metavar="FILE", help="write the JSON document to FILE"
     )
     batch_parser.set_defaults(func=_cmd_batch)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing of paired engine configurations",
+        description="Generate a seeded corpus of well-typed programs and "
+        "check engine equivalence contracts (batched vs scalar posts, "
+        "incremental vs restart, parallel vs sequential, portfolio vs "
+        "winning arm).  Mismatches are shrunk to 1-minimal reproducers.",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="corpus seed; the same seed reproduces the same programs "
+        "bit-for-bit, across processes and hash seeds (default: 0)",
+    )
+    fuzz_parser.add_argument(
+        "--count", type=int, default=25, metavar="N",
+        help="number of programs to generate (default: 25)",
+    )
+    fuzz_parser.add_argument(
+        "--oracle", choices=("all",) + tuple(_ORACLE_NAMES), default="all",
+        help="which paired-configuration oracle to run (default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--plant-every", type=int, default=3, metavar="K",
+        help="plant a reachable bug in every K-th program so unsafe "
+        "verdicts are exercised (default: 3)",
+    )
+    fuzz_parser.add_argument(
+        "--statements", type=int, default=5, metavar="N",
+        help="top-level statement slots per generated program (default: 5)",
+    )
+    fuzz_parser.add_argument(
+        "--max-depth", type=int, default=2, metavar="D",
+        help="maximum loop/branch nesting depth (default: 2)",
+    )
+    fuzz_parser.add_argument(
+        "--max-refinements", type=int, default=6, metavar="N",
+        help="per-configuration CEGAR budget; deterministic, so both sides "
+        "of every comparison see the same cutoff (default: 6)",
+    )
+    fuzz_parser.add_argument(
+        "--max-nodes", type=int, default=300, metavar="N",
+        help="per-configuration ART node budget (default: 300)",
+    )
+    fuzz_parser.add_argument(
+        "--max-solver-calls", type=int, default=3000, metavar="N",
+        help="per-configuration Hoare-triple budget; charged identically on "
+        "both sides of a strict oracle, so pathological programs stay "
+        "comparable instead of running for minutes (default: 3000)",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report mismatches without minimising them (faster triage)",
+    )
+    fuzz_parser.add_argument(
+        "--corpus-dir", metavar="DIR", default=None,
+        help="write shrunk reproducers into DIR (the committed regression "
+        "corpus lives in tests/corpus/)",
+    )
+    fuzz_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
 
     list_parser = subparsers.add_parser("list", help="list built-in benchmark programs")
     list_parser.set_defaults(func=_cmd_list)

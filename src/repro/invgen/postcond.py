@@ -148,7 +148,10 @@ def _numeric_post(atoms: Sequence[Atom], command: Assign) -> list[Formula]:
                 ok = False
                 break
             constraints.append(constraint)
-    if not ok:
+    if not ok or command.expr.array_reads():
+        # An array read on the right-hand side is not a linear term, so there
+        # is no defining equation to project through; treating the assignment
+        # as a havoc of the target is the sound weakening.
         return [a for a in atoms if assigned not in a.variables()]
     # x' = e[x -> old]
     rhs = command.expr.substitute({assigned: LinExpr.make({old: 1})})

@@ -16,6 +16,7 @@ from .cfg import (
 from .lexer import LexError, tokenize
 from .parser import ParseError, parse_expression, parse_function, parse_program
 from .pretty import format_path, format_program, format_transition, program_to_dot
+from .source import format_condition, format_expr, format_function, strip_positions
 from .programs import (
     PROGRAMS,
     BenchmarkProgram,
@@ -54,6 +55,10 @@ __all__ = [
     "format_program",
     "format_transition",
     "program_to_dot",
+    "format_condition",
+    "format_expr",
+    "format_function",
+    "strip_positions",
     "PROGRAMS",
     "BenchmarkProgram",
     "get_program",

@@ -448,7 +448,14 @@ def compact(program: Program) -> Program:
     changed = True
     while changed:
         changed = False
-        for location in list(_intermediate_locations(program, transitions)):
+        # Sorted by name: set iteration order varies with the interpreter's
+        # hash seed, and the merge sequence determines the final transition
+        # *order* — which seeds the frontier and hence the exploration
+        # micro-order.  Sorting makes the emitted transition system (and
+        # every downstream post-decision count) hash-seed-independent.
+        for location in sorted(
+            _intermediate_locations(program, transitions), key=lambda l: l.name
+        ):
             incoming = [t for t in transitions if t.target == location]
             outgoing = [t for t in transitions if t.source == location]
             if len(incoming) != 1 or len(outgoing) != 1:

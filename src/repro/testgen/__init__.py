@@ -1,0 +1,42 @@
+"""Seeded program generation, shrinking and differential fuzzing.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.testgen.generator` — a deterministic, seeded generator of
+  well-typed mini-C programs (:func:`generate` / :func:`generate_corpus`),
+  with shape knobs (:class:`GenConfig`) and a plant-a-reachable-bug mode;
+* :mod:`repro.testgen.shrink` — a greedy delta-debugging shrinker
+  (:func:`shrink_function`) minimising a program against any predicate;
+* :mod:`repro.testgen.differential` — paired-configuration oracles over
+  the verification engine (:data:`ORACLES`, :func:`run_fuzz`) asserting
+  the equivalence contracts established by earlier PRs, shrinking any
+  failure into a committed reproducer.
+
+CLI entry point: ``python -m repro fuzz --seed S --count N --oracle all``.
+"""
+
+from .generator import GenConfig, GeneratedProgram, generate, generate_corpus
+from .shrink import shrink_function, shrinkable_variants
+from .differential import (
+    ORACLES,
+    FuzzReport,
+    Mismatch,
+    fuzz_options,
+    run_fuzz,
+    run_oracle,
+)
+
+__all__ = [
+    "GenConfig",
+    "GeneratedProgram",
+    "generate",
+    "generate_corpus",
+    "shrink_function",
+    "shrinkable_variants",
+    "ORACLES",
+    "FuzzReport",
+    "Mismatch",
+    "fuzz_options",
+    "run_fuzz",
+    "run_oracle",
+]

@@ -1,0 +1,364 @@
+"""Seeded, deterministic generator of well-typed mini-C programs.
+
+:func:`generate` maps ``(seed, GenConfig)`` to a :class:`GeneratedProgram`
+— the same pair yields the *identical* AST and source text in every
+process, on every platform, under every ``PYTHONHASHSEED``: the only
+randomness source is one :class:`random.Random` instance, and generation
+never iterates a set or dict.  That determinism is what makes a fuzz
+failure a one-line reproducer (``repro fuzz --seed S``).
+
+The generated fragment is exactly what the rest of the pipeline accepts:
+
+* every program typechecks (:func:`repro.lang.typecheck.check_function`)
+  and builds a CFG (:func:`repro.lang.cfg.build_program`);
+* multiplication always has a constant factor (the typechecker rejects
+  non-linear products);
+* negative constants are ``UnaryOp('-', ...)``, never negative literals
+  (the parser cannot produce those);
+* a havoc is a :class:`~repro.lang.ast.HavocStmt`, never a bare
+  ``AssignStmt(x, NondetExpr())`` (the parser reads ``x = nondet();`` as
+  a havoc, which would break AST round-trips);
+* loops are bounded counter loops (``int c = 0; while (c < K) {...}``
+  with the counter never reassigned in the body) or ``while (*)`` loops
+  — both keep every statement after them structurally reachable, which
+  the plant-a-bug mode relies on.
+
+**Plant-a-bug mode** (``GenConfig(plant_bug=True)``) inserts
+``bug = nondet(); assert(bug != K);`` at a random top-level spine position
+and suppresses ``assume`` statements everywhere (an assume could make the
+spine unreachable).  Every other construct joins back to the spine, so the
+planted assertion is reachable and the program is guaranteed UNSAFE —
+exercising the error-path half of every differential oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..lang.ast import (
+    ArrayAssignStmt,
+    ArrayRef,
+    AssertStmt,
+    AssignStmt,
+    AssumeStmt,
+    BinaryOp,
+    Block,
+    BoolBinary,
+    BoolExpr,
+    BoolNondet,
+    BoolNot,
+    Comparison,
+    DeclStmt,
+    Expr,
+    FunctionDef,
+    HavocStmt,
+    IfStmt,
+    IntLiteral,
+    NondetExpr,
+    SkipStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+)
+from ..lang.source import format_function
+
+__all__ = ["GenConfig", "GeneratedProgram", "generate", "generate_corpus"]
+
+_COMPARE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Shape knobs of the generator (all sampled through one seeded RNG)."""
+
+    #: Statement slots in the top-level body (loops/branches count as one).
+    statements: int = 5
+    #: Maximum nesting depth of branches and loops.
+    max_depth: int = 2
+    #: Scalar variables declared up front.
+    scalars: int = 3
+    #: Array variables declared up front (0 disables array constructs).
+    arrays: int = 1
+    #: Upper bound of counter-loop trip counts (1..loop_bound).
+    loop_bound: int = 4
+    #: Probability a statement slot becomes an ``if``.
+    branch_density: float = 0.25
+    #: Probability a statement slot becomes a loop (depth permitting).
+    loop_density: float = 0.2
+    #: Probability a slot becomes an array read/write (arrays permitting).
+    array_density: float = 0.25
+    #: Probability a slot becomes an ``assume`` (forced to 0 by plant_bug).
+    assume_density: float = 0.12
+    #: Probability a slot becomes an ``assert``.
+    assert_density: float = 0.3
+    #: Magnitude bound of generated integer constants.
+    max_constant: int = 8
+    #: Insert a reachable ``bug = nondet(); assert(bug != K);`` and drop
+    #: every assume — the program is then guaranteed UNSAFE.
+    plant_bug: bool = False
+
+    def __post_init__(self) -> None:
+        if self.statements < 1:
+            raise ValueError(f"statements must be >= 1, got {self.statements}")
+        if self.scalars < 1:
+            raise ValueError(f"scalars must be >= 1, got {self.scalars}")
+        if self.arrays < 0:
+            raise ValueError(f"arrays must be >= 0, got {self.arrays}")
+        if self.loop_bound < 1:
+            raise ValueError(f"loop_bound must be >= 1, got {self.loop_bound}")
+        if self.max_constant < 1:
+            raise ValueError(f"max_constant must be >= 1, got {self.max_constant}")
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated program plus the recipe that reproduces it."""
+
+    seed: int
+    config: GenConfig
+    function: FunctionDef
+    source: str = field(repr=False)
+    #: True when a bug was planted: the program is UNSAFE by construction.
+    expect_unsafe: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+
+class _Generator:
+    def __init__(self, seed: int, config: GenConfig) -> None:
+        self.rng = random.Random(seed)
+        self.config = config
+        self.scalars = [f"x{i}" for i in range(config.scalars)]
+        self.arrays = [f"a{i}" for i in range(config.arrays)]
+        #: Scalars currently readable (loop counters join while in scope).
+        self.readable = list(self.scalars)
+        #: Scalars currently writable (loop counters are never writable).
+        self.writable = list(self.scalars)
+        self.counters = 0
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def constant(self, lo: int = 0) -> IntLiteral:
+        return IntLiteral(self.rng.randint(lo, self.config.max_constant))
+
+    def atom(self) -> Expr:
+        roll = self.rng.random()
+        if roll < 0.45 and self.readable:
+            return VarRef(self.rng.choice(self.readable))
+        if roll < 0.55 and self.arrays and self.rng.random() < self.config.array_density:
+            return ArrayRef(self.rng.choice(self.arrays), self.index_expr())
+        return self.constant()
+
+    def index_expr(self) -> Expr:
+        """A shallow index expression (variable, constant, or var +/- const)."""
+        roll = self.rng.random()
+        if roll < 0.4 and self.readable:
+            return VarRef(self.rng.choice(self.readable))
+        if roll < 0.6 and self.readable:
+            return BinaryOp(
+                self.rng.choice(("+", "-")),
+                VarRef(self.rng.choice(self.readable)),
+                self.constant(),
+            )
+        return self.constant()
+
+    def expr(self, depth: int = 0) -> Expr:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.35:
+            return self.atom()
+        if roll < 0.6:
+            return BinaryOp(
+                self.rng.choice(("+", "+", "-")),
+                self.expr(depth + 1),
+                self.expr(depth + 1),
+            )
+        if roll < 0.75:
+            # Linear multiplication only: one factor must be constant.
+            return BinaryOp("*", self.constant(lo=1), self.atom())
+        if roll < 0.85:
+            return UnaryOp("-", self.atom())
+        if roll < 0.92:
+            # nondet() is only legal as a *sole* right-hand side (the CFG
+            # builder lowers it to a havoc), so compound expressions mix a
+            # constant offset instead.
+            return BinaryOp(
+                self.rng.choice(("+", "-")), self.constant(), self.atom()
+            )
+        return self.atom()
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def comparison(self) -> Comparison:
+        return Comparison(
+            self.rng.choice(_COMPARE_OPS), self.expr(1), self.expr(1)
+        )
+
+    def condition(self, depth: int = 0) -> BoolExpr:
+        roll = self.rng.random()
+        if depth >= 1 or roll < 0.6:
+            return self.comparison()
+        if roll < 0.75:
+            return BoolBinary(
+                self.rng.choice(("&&", "||")),
+                self.condition(depth + 1),
+                self.condition(depth + 1),
+            )
+        if roll < 0.85:
+            return BoolNot(self.condition(depth + 1))
+        return BoolNondet()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def statement(self, depth: int) -> list[Stmt]:
+        """One statement slot; loops expand to (decl, while) pairs."""
+        cfg = self.config
+        roll = self.rng.random()
+        if depth < cfg.max_depth and roll < cfg.loop_density:
+            return self.loop(depth)
+        roll = self.rng.random()
+        if depth < cfg.max_depth and roll < cfg.branch_density:
+            return [self.branch(depth)]
+        roll = self.rng.random()
+        if not cfg.plant_bug and roll < cfg.assume_density:
+            return [AssumeStmt(self.condition())]
+        roll = self.rng.random()
+        if roll < cfg.assert_density:
+            return [self.assertion()]
+        if self.arrays and self.rng.random() < cfg.array_density:
+            return [
+                ArrayAssignStmt(
+                    self.rng.choice(self.arrays), self.index_expr(), self.expr()
+                )
+            ]
+        target = self.rng.choice(self.writable)
+        if self.rng.random() < 0.2:
+            return [HavocStmt(target)]
+        value = self.expr()
+        if isinstance(value, NondetExpr):
+            # A bare-nondet assignment parses back as a havoc: emit the
+            # havoc form directly so ASTs round-trip.
+            return [HavocStmt(target)]
+        return [AssignStmt(target, value)]
+
+    def assertion(self) -> AssertStmt:
+        roll = self.rng.random()
+        if roll < 0.55:
+            # A structural tautology: always provable, biases toward SAFE.
+            expr = self.expr(1)
+            op = self.rng.choice(("<=", ">=", "=="))
+            return AssertStmt(Comparison(op, expr, expr))
+        return AssertStmt(self.comparison())
+
+    def branch(self, depth: int) -> IfStmt:
+        condition = self.condition()
+        then_branch = self.block(depth + 1, self.rng.randint(1, 2))
+        else_branch = None
+        if self.rng.random() < 0.5:
+            else_branch = self.block(depth + 1, self.rng.randint(1, 2))
+        return IfStmt(condition, then_branch, else_branch)
+
+    def loop(self, depth: int) -> list[Stmt]:
+        if self.rng.random() < 0.25:
+            # ``while (*)``: the abstraction decides both branches, so the
+            # loop always admits immediate exit — spine stays reachable.
+            body = self.block(depth + 1, self.rng.randint(1, 2))
+            if not body.statements:
+                body = Block((SkipStmt(),))
+            return [WhileStmt(BoolNondet(), body)]
+        counter = f"c{self.counters}"
+        self.counters += 1
+        bound = self.rng.randint(1, self.config.loop_bound)
+        self.readable.append(counter)
+        body = self.block(depth + 1, self.rng.randint(1, 2))
+        self.readable.pop()
+        increment = AssignStmt(
+            counter, BinaryOp("+", VarRef(counter), IntLiteral(1))
+        )
+        loop = WhileStmt(
+            Comparison("<", VarRef(counter), IntLiteral(bound)),
+            Block(body.statements + (increment,)),
+        )
+        return [DeclStmt(counter, initializer=IntLiteral(0)), loop]
+
+    def block(self, depth: int, slots: int) -> Block:
+        statements: list[Stmt] = []
+        for _ in range(slots):
+            statements.extend(self.statement(depth))
+        return Block(tuple(statements))
+
+    # ------------------------------------------------------------------
+    def function(self, seed: int) -> tuple[FunctionDef, bool]:
+        cfg = self.config
+        decls: list[Stmt] = []
+        for name in self.scalars:
+            if self.rng.random() < 0.5:
+                decls.append(DeclStmt(name, initializer=self.constant()))
+            else:
+                decls.append(DeclStmt(name))
+                decls.append(HavocStmt(name))
+        for name in self.arrays:
+            decls.append(
+                DeclStmt(
+                    name,
+                    is_array=True,
+                    size=IntLiteral(self.rng.randint(2, cfg.max_constant)),
+                )
+            )
+        body: list[Stmt] = []
+        for _ in range(cfg.statements):
+            body.extend(self.statement(0))
+        planted = False
+        if cfg.plant_bug:
+            target = self.rng.randint(0, cfg.max_constant)
+            trap = [
+                DeclStmt("bug"),
+                HavocStmt("bug"),
+                AssertStmt(Comparison("!=", VarRef("bug"), IntLiteral(target))),
+            ]
+            at = self.rng.randint(0, len(body))
+            body[at:at] = trap
+            planted = True
+        return (
+            FunctionDef(f"gen{seed}", (), Block(tuple(decls) + tuple(body))),
+            planted,
+        )
+
+
+def generate(seed: int, config: Optional[GenConfig] = None) -> GeneratedProgram:
+    """Generate one well-typed program; deterministic in ``(seed, config)``."""
+    config = config or GenConfig()
+    function, planted = _Generator(seed, config).function(seed)
+    return GeneratedProgram(
+        seed=seed,
+        config=config,
+        function=function,
+        source=format_function(function),
+        expect_unsafe=planted,
+    )
+
+
+def generate_corpus(
+    seed: int,
+    count: int,
+    config: Optional[GenConfig] = None,
+    plant_every: int = 3,
+) -> list[GeneratedProgram]:
+    """``count`` programs with derived seeds; every ``plant_every``-th has a
+    planted bug (``plant_every=0`` disables planting)."""
+    config = config or GenConfig()
+    programs = []
+    for index in range(count):
+        derived = seed * 1_000_003 + index
+        plant = bool(plant_every) and index % plant_every == plant_every - 1
+        programs.append(
+            generate(derived, replace(config, plant_bug=plant or config.plant_bug))
+        )
+    return programs

@@ -262,6 +262,26 @@ class TestListCommand:
         assert "forward" in out and "initcheck" in out
 
 
+class TestFuzzCommand:
+    def test_clean_batch_exits_zero(self, capsys):
+        assert run_cli(["fuzz", "--seed", "1", "--count", "3", "--oracle", "batched"]) == 0
+        out = capsys.readouterr().out
+        assert "3 programs" in out and "clean" in out
+
+    def test_json_document(self, capsys):
+        assert run_cli(["fuzz", "--seed", "4", "--count", "2", "--oracle",
+                        "incremental", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["programs_generated"] == 2
+        assert payload["mismatches"] == []
+        assert payload["oracles"] == ["incremental"]
+
+    def test_rejects_wall_clock_free_budget_misuse(self, capsys):
+        # Degenerate generator shapes are usage errors, not crashes.
+        assert run_cli(["fuzz", "--count", "1", "--statements", "0"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 def test_module_entry_point_subprocess():
     """``python -m repro`` works end to end in a fresh interpreter."""

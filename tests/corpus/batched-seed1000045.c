@@ -1,0 +1,12 @@
+// repro-fuzz reproducer (auto-minimised)
+// oracle: batched
+// seed: 1000045
+// kind: crash
+// detail: ValueError: LinConstraint over non-variable atom: a0[6] (fixed: invgen/postcond.py array read on assignment RHS)
+void gen1000045() {
+  int x1;
+  int x2 = 3;
+  int a0[8];
+  x1 = a0[6];
+  assert((7 * x2) != 7);
+}

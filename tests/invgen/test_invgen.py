@@ -88,6 +88,14 @@ class TestStrongestPost:
         assert upper == var("n") - const(1)
         assert body == eq(read("a", var("k")), 0)
 
+    def test_assignment_from_array_read_acts_as_havoc(self):
+        # Fuzz regression (tests/corpus/batched-seed1000045.c): ``x = a[6]``
+        # used to feed the non-linear RHS into LinConstraint and crash; the
+        # sound treatment is to havoc the target and keep the rest.
+        pre = conjoin([ge(var("x"), 0), ge(var("y"), 3)])
+        post = strongest_post(pre, Assign("x", read("a", const(6))))
+        assert set(conjuncts(post)) == {ge(var("y"), 3)}
+
     def test_array_write_drops_only_affected(self):
         pre = conjoin([ge(var("x"), 0), eq(read("b", var("j")), 1)])
         post = strongest_post(pre, ArrayAssign("a", var("i"), const(0)))

@@ -1,0 +1,27 @@
+"""Re-verify every committed corpus reproducer: fixed bugs stay fixed.
+
+Each ``tests/corpus/*.c`` file is a shrunk program that once violated a
+differential-oracle contract.  The bug it exposed has since been fixed,
+so re-running the named oracle must come back clean; a mismatch here is
+a regression of a previously-fixed engine bug.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testgen.differential import load_corpus, verify_corpus_entry
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_directory_is_tracked():
+    assert CORPUS_DIR.is_dir()
+    assert (CORPUS_DIR / "README.md").exists()
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.path.name)
+def test_reproducer_stays_fixed(entry):
+    mismatches = verify_corpus_entry(entry)
+    assert mismatches == [], [m.to_dict() for m in mismatches]

@@ -1,0 +1,101 @@
+"""Generator self-tests: determinism, well-typedness, planted bugs."""
+
+import hashlib
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import Budget, Verdict, VerificationEngine
+from repro.lang import build_program, check_function
+from repro.testgen import GenConfig, generate, generate_corpus
+
+# Recomputes the corpus digest in a child interpreter; any dependence on
+# set/dict iteration order or per-process state would change the hash.
+_DIGEST_SNIPPET = """
+import hashlib
+from repro.testgen import generate_corpus
+blob = "\\n".join(p.source for p in generate_corpus(seed=5, count=40))
+print(hashlib.sha256(blob.encode()).hexdigest())
+"""
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        first, second = generate(42), generate(42)
+        assert first.source == second.source
+        assert first.function == second.function
+
+    def test_different_seeds_differ(self):
+        sources = {generate(seed).source for seed in range(20)}
+        assert len(sources) > 15  # collisions would mean the seed is ignored
+
+    def test_config_changes_output(self):
+        assert generate(7).source != generate(7, GenConfig(statements=9)).source
+
+    @pytest.mark.parametrize("hashseed", ["1", "2"])
+    def test_identical_across_processes_and_hash_seeds(self, hashseed):
+        src_root = str(Path(__file__).resolve().parents[2] / "src")
+        out = subprocess.run(
+            [sys.executable, "-c", _DIGEST_SNIPPET],
+            capture_output=True, text=True, check=True,
+            env={
+                "PYTHONPATH": src_root,
+                "PYTHONHASHSEED": hashseed,
+                "PATH": "/usr/bin:/bin",
+            },
+        ).stdout.strip()
+        blob = "\n".join(p.source for p in generate_corpus(seed=5, count=40))
+        assert out == hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestWellTypedness:
+    def test_500_generated_programs_typecheck_and_build(self):
+        for generated in generate_corpus(seed=1, count=500):
+            check_function(generated.function)  # raises on failure
+            program = build_program(generated.function)
+            assert program.transitions, generated.source
+
+    def test_shape_knobs_respected(self):
+        flat = generate(3, GenConfig(max_depth=0, arrays=0))
+        assert "while" not in flat.source and "if" not in flat.source
+        assert "[" not in flat.source
+
+
+class TestPlantedBugs:
+    def test_corpus_plants_on_schedule(self):
+        corpus = generate_corpus(seed=2, count=12, plant_every=3)
+        assert [p.expect_unsafe for p in corpus] == [False, False, True] * 4
+        assert all("bug" in p.source for p in corpus if p.expect_unsafe)
+
+    def test_plant_every_zero_disables(self):
+        assert not any(
+            p.expect_unsafe for p in generate_corpus(seed=2, count=6, plant_every=0)
+        )
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_planted_program_verifies_unsafe(self, seed):
+        generated = generate(seed, GenConfig(statements=3, plant_bug=True))
+        assert generated.expect_unsafe
+        result = VerificationEngine(
+            build_program(generated.function),
+            budget=Budget(max_refinements=10, max_nodes=600),
+        ).run()
+        assert result.verdict == Verdict.UNSAFE, generated.source
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"statements": 0},
+            {"scalars": 0},
+            {"arrays": -1},
+            {"loop_bound": 0},
+            {"max_constant": 0},
+        ],
+    )
+    def test_rejects_degenerate_shapes(self, kwargs):
+        with pytest.raises(ValueError):
+            GenConfig(**kwargs)

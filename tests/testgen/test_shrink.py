@@ -1,0 +1,105 @@
+"""Shrinker self-tests: soundness, 1-minimality, engine-predicate shrinking."""
+
+import pytest
+
+from repro.core.engine import Budget, Verdict, VerificationEngine
+from repro.lang import build_program, parse_function
+from repro.lang.ast import AssertStmt
+from repro.testgen import GenConfig, generate, shrink_function, shrinkable_variants
+from repro.testgen.shrink import is_valid_function
+
+
+def _statement_count(function):
+    def count(block):
+        total = 0
+        for statement in block.statements:
+            total += 1
+            for attr in ("then_branch", "else_branch", "body"):
+                inner = getattr(statement, attr, None)
+                if inner is not None:
+                    total += count(inner)
+        return total
+
+    return count(function.body)
+
+
+def _contains_assert(function) -> bool:
+    def scan(block):
+        for statement in block.statements:
+            if isinstance(statement, AssertStmt):
+                return True
+            for attr in ("then_branch", "else_branch", "body"):
+                inner = getattr(statement, attr, None)
+                if inner is not None and scan(inner):
+                    return True
+        return False
+
+    return scan(function.body)
+
+
+def _is_one_minimal(function, predicate) -> bool:
+    """No single further edit yields a valid program that still fails."""
+    return not any(
+        is_valid_function(variant) and predicate(variant)
+        for variant in shrinkable_variants(function)
+    )
+
+
+NOISY = """\
+void noisy() {
+  int x;
+  x = nondet();
+  int y = 3;
+  if ((x < 4)) {
+    y = (y + 1);
+  } else {
+    y = (y - 1);
+  }
+  while (*) {
+    y = (y + 2);
+  }
+  assert((x == x));
+  y = (2 * y);
+}
+"""
+
+
+class TestStructuralShrinking:
+    def test_sound_and_one_minimal_on_contains_assert(self):
+        function = parse_function(NOISY)
+        shrunk = shrink_function(function, _contains_assert)
+        assert _contains_assert(shrunk)  # soundness
+        assert _is_one_minimal(shrunk, _contains_assert)
+        # Everything except the assert (and any decls it needs) is gone.
+        assert _statement_count(shrunk) < _statement_count(function)
+        assert "if" not in [type(s).__name__ for s in shrunk.body.statements]
+
+    def test_rejects_passing_original(self):
+        function = parse_function("void ok() { int x = 1; }\n")
+        with pytest.raises(ValueError):
+            shrink_function(function, _contains_assert)
+
+    def test_variants_are_strictly_smaller_or_rearranged(self):
+        function = parse_function(NOISY)
+        original = _statement_count(function)
+        for variant in shrinkable_variants(function):
+            assert _statement_count(variant) < original
+
+
+class TestEnginePredicateShrinking:
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_planted_bug_shrinks_and_stays_unsafe(self, seed):
+        generated = generate(seed, GenConfig(statements=4, plant_bug=True))
+
+        def still_unsafe(function):
+            result = VerificationEngine(
+                build_program(function),
+                budget=Budget(max_refinements=8, max_nodes=400),
+            ).run()
+            return result.verdict == Verdict.UNSAFE
+
+        assert still_unsafe(generated.function)  # the plant guarantee
+        shrunk = shrink_function(generated.function, still_unsafe)
+        assert still_unsafe(shrunk)  # soundness
+        assert _is_one_minimal(shrunk, still_unsafe)
+        assert _statement_count(shrunk) <= _statement_count(generated.function)
