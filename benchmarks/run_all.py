@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr8.json``.
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr9.json``.
 
-Eight data sections feed the perf trajectory (``benchmarks/trend_diff.py``
-diffs the engine and parallel sections of consecutive snapshots in CI):
+Nine data sections feed the perf trajectory (``benchmarks/trend_diff.py``
+diffs the engine, parallel, fuzz and service sections of consecutive
+snapshots in CI):
 
 * ``pytest``      — every ``bench_e*.py`` benchmark run through
   pytest-benchmark (wall time per benchmark plus the experiment facts each
@@ -37,10 +38,16 @@ diffs the engine and parallel sections of consecutive snapshots in CI):
   count, mismatch count and both sides' total abstract-post decisions,
   plus a summary row (programs generated, total mismatches, mean posts).
   Any mismatch fails the run, like a verdict disagreement.
+* ``service``     — the verification daemon (``repro.serve``): the suite
+  submitted twice over a real TCP socket (``cold``/``warm`` modes per
+  program — the warm pass must warm-start from the precision the daemon
+  banked for the cold one), plus a summary row with the daemon's
+  coalesce/warm-hit counters and the 8-identical-concurrent-requests
+  coalesce ratio (must stay ≤ 1.25× one request's posts).
 
 Usage::
 
-    python benchmarks/run_all.py                  # full run, writes BENCH_pr8.json
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr9.json
     python benchmarks/run_all.py --skip-pytest    # direct sections only (fast)
     python benchmarks/run_all.py -o out.json
 """
@@ -526,11 +533,92 @@ def run_fuzz_section() -> list[dict]:
     return rows
 
 
+def run_service_section() -> list[dict]:
+    """The daemon over a real socket: cold/warm passes plus the coalesce bar.
+
+    One row per suite program in the trend layout (``cold``/``warm`` modes
+    with ``post_decisions``/``seconds``), plus a ``summary`` row carrying
+    the daemon's request counters and the 8-identical-concurrent-requests
+    coalesce ratio.
+    """
+    from repro.serve import ServiceClient, ServiceConfig, VerificationService
+
+    service = VerificationService(ServiceConfig(workers=4, max_queue=64)).start()
+    try:
+        rows = []
+        with ServiceClient(port=service.port, timeout=600.0) as client:
+            for name, max_refinements in ENGINE_PROGRAMS:
+                row: dict = {"program": name, "max_refinements": max_refinements}
+                options = {"max_refinements": max_refinements}
+                for label in ("cold", "warm"):
+                    started = time.perf_counter()
+                    doc = client.verify(name, options=options)
+                    row[label] = {
+                        "verdict": doc["verdict"],
+                        "seconds": round(time.perf_counter() - started, 4),
+                        "post_decisions": doc["post_decisions"],
+                        "warm_started": doc["engine"]["session"]["warm_started"],
+                    }
+                row["verdicts_agree"] = row["cold"]["verdict"] == row["warm"]["verdict"]
+                cold_posts = row["cold"]["post_decisions"]
+                if cold_posts:
+                    row["post_decision_reduction"] = round(
+                        1 - row["warm"]["post_decisions"] / cold_posts, 4
+                    )
+                rows.append(row)
+                print(
+                    f"  {name:18s} cold={row['cold']['verdict']}/"
+                    f"{cold_posts:5d} warm={row['warm']['verdict']}/"
+                    f"{row['warm']['post_decisions']:5d} "
+                    f"reduction={row.get('post_decision_reduction', 0):7.2%}"
+                )
+
+        # The coalesce bar: 8 identical concurrent requests of a program the
+        # daemon has not seen must cost ≤ 1.25x one request's posts.
+        coalesce_options = {"max_refinements": 2, "max_nodes": 40}
+        probe = VerificationService(ServiceConfig(workers=1)).start()
+        try:
+            with ServiceClient(port=probe.port, timeout=600.0) as client:
+                one = client.verify("partition", options=coalesce_options)
+        finally:
+            probe.stop()
+        posts_before = service.posts_executed
+        with ServiceClient(port=service.port, timeout=600.0) as client:
+            batch = client.submit_many(
+                [("partition", "partition")] * 8, options=coalesce_options
+            )
+        batch_posts = service.posts_executed - posts_before
+        stats = service.statistics()["service"]
+        summary = {
+            "program": "summary",
+            "verify_requests": stats["verify_requests"],
+            "engine_runs": stats["engine_runs"],
+            "coalesce_hits": stats["coalesce_hits"],
+            "warm_hits": stats["warm_hits"],
+            "rejections": stats["rejections"],
+            "coalesce_single_posts": one["post_decisions"],
+            "coalesce_batch_posts": batch_posts,
+            "coalesce_ratio": round(
+                batch_posts / max(one["post_decisions"], 1), 4
+            ),
+            "coalesce_verdicts": sorted({doc["verdict"] for doc in batch}),
+        }
+        rows.append(summary)
+        print(
+            f"  coalesce: 8 identical requests cost {batch_posts} posts vs "
+            f"{one['post_decisions']} for one ({summary['coalesce_ratio']}x); "
+            f"{stats['coalesce_hits']} hits, {stats['warm_hits']} warm starts"
+        )
+        return rows
+    finally:
+        service.stop()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr8.json"),
-        help="where to write the JSON report (default: repo root BENCH_pr8.json)",
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr9.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr9.json)",
     )
     parser.add_argument(
         "--skip-pytest", action="store_true",
@@ -554,6 +642,8 @@ def main(argv=None) -> int:
     report["sections"]["parallel"] = run_parallel_section()
     print(f"fuzz section (seed={FUZZ_SEED}, {FUZZ_COUNT} programs, all oracles):")
     report["sections"]["fuzz"] = run_fuzz_section()
+    print("service section (the daemon over a real socket, cold vs warm):")
+    report["sections"]["service"] = run_service_section()
     if not args.skip_pytest:
         print("pytest section (bench_e*.py):")
         report["sections"]["pytest"] = run_pytest_section()
@@ -577,6 +667,16 @@ def main(argv=None) -> int:
         for row in report["sections"]["fuzz"]
         if row.get("mismatches")
     ]
+    disagreements += [
+        f"{row['program']} (service)"
+        for row in report["sections"]["service"]
+        if not row.get("verdicts_agree", True)
+    ]
+    service_summary = report["sections"]["service"][-1]
+    if service_summary["coalesce_ratio"] > 1.25:
+        disagreements.append(
+            f"service coalesce ratio {service_summary['coalesce_ratio']} > 1.25"
+        )
     if disagreements:
         print(f"VERDICT DISAGREEMENTS: {disagreements}", file=sys.stderr)
         return 1

@@ -4,7 +4,8 @@
 Each PR's benchmark run (``benchmarks/run_all.py``) leaves a ``BENCH_prN.json``
 snapshot in the repository root.  This script compares the *engine* section
 (incremental/restart modes), the *parallel* section (sequential/parallel
-modes) and the *fuzz* section (per-oracle fixed-seed differential batches)
+modes), the *fuzz* section (per-oracle fixed-seed differential batches)
+and the *service* section (cold/warm daemon submissions over a socket)
 of the two newest snapshots program by program and exits non-zero
 when any shared program regressed beyond a metric's threshold in either
 mode — the automated bench-trend check the ROADMAP asks for.
@@ -47,6 +48,10 @@ SECTIONS = {
     # are comparable across snapshots); older snapshots without the
     # section just print a "share no programs" note.
     "fuzz": ("baseline", "variant"),
+    # Verification-daemon rows: each suite program submitted over a real
+    # socket cold then warm — the warm mode's post counters track the
+    # cross-request warm-start payoff across snapshots.
+    "service": ("cold", "warm"),
 }
 
 #: (metric key, threshold argparse attr, failing?) — the diffed metrics.

@@ -13,6 +13,9 @@ The top-level package re-exports the public API:
 * :mod:`repro.core` — path programs, predicate abstraction, CEGAR;
 * :mod:`repro.invgen` — constraint-based invariant synthesis (templates,
   Farkas engine, quantified array invariants);
+* :mod:`repro.serve` — verification as a service: a long-lived daemon
+  (:class:`repro.VerificationService`) with request coalescing and
+  cross-request warm-starting, and its :class:`repro.ServiceClient`;
 * :mod:`repro.smt` — the exact decision procedures everything is built on.
 """
 
@@ -30,7 +33,10 @@ from .core.supervision import RetryPolicy, Supervisor
 from .core.faults import FaultPlan, FaultSpec
 from .lang.programs import PROGRAMS, get_program, get_source, list_programs
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+# After __version__: the daemon's health endpoint reports it.
+from .serve import ServiceClient, ServiceConfig, ServiceError, VerificationService
 
 __all__ = [
     "verify",
@@ -49,6 +55,10 @@ __all__ = [
     "RetryPolicy",
     "FaultPlan",
     "FaultSpec",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "VerificationService",
     "PROGRAMS",
     "get_program",
     "get_source",

@@ -26,6 +26,19 @@ Three subcommands drive the verification session API:
     guarantees.  Any violation is shrunk to a 1-minimal reproducer.
     Exit code: 0 clean, 1 mismatches found, 3 usage error.
 
+``repro serve``
+    Run the verification daemon (see :mod:`repro.serve`): an asyncio
+    JSON-over-TCP front over a supervised worker pool with request
+    coalescing, bounded admission, and cross-request warm-starting through
+    a shared precision store.  Drains gracefully on SIGTERM/SIGINT.
+
+``repro submit FILE|NAME ... [--suite]``
+    Send a corpus to a running daemon and print the batch JSON document
+    (same shape as ``repro batch``).  Transport failures come back as
+    structured result docs, never tracebacks.
+    Exit code: 0 when every task verified, 2 when any came back unknown or
+    errored, 3 when the daemon is unreachable.
+
 ``repro list``
     List the built-in benchmark programs.
 
@@ -38,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Optional
@@ -52,6 +66,7 @@ from .core.engine import (
 from .core.predabs import FRONTIER_NAMES
 from .core.verifier import ENGINE_REFINER_NAMES
 from .lang.programs import PROGRAMS
+from .serve.client import DEFAULT_PORT as _DEFAULT_SERVE_PORT
 from .testgen.differential import ORACLES as _ORACLE_NAMES
 
 EXIT_SAFE = 0
@@ -314,6 +329,110 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return EXIT_SAFE if report.clean else EXIT_UNSAFE
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServiceConfig, VerificationService
+
+    try:
+        options = _resolve_options(args)
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_queue=args.max_queue,
+            request_timeout=args.request_timeout,
+            store_path=args.precision_store,
+            options=options,
+        )
+        service = VerificationService(config)
+    except (OSError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    def _announce(ready: VerificationService) -> None:
+        print(
+            f"repro-serve listening on {config.host}:{ready.port} "
+            f"(pid {os.getpid()}, {config.workers} workers, "
+            f"queue {config.max_queue}); SIGTERM drains gracefully",
+            flush=True,
+        )
+
+    try:
+        service.serve_forever(on_ready=_announce)
+    except OSError as error:  # e.g. port already in use
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    print("repro-serve drained; store flushed", flush=True)
+    return EXIT_SAFE
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServiceClient, ServiceError
+
+    targets = list(args.targets)
+    if args.suite:
+        targets.extend(sorted(PROGRAMS))
+    if not targets and not args.shutdown:
+        print("error: no targets (pass files/names or --suite)", file=sys.stderr)
+        return EXIT_ERROR
+    tasks = []
+    try:
+        # Ship options only when the caller configured any: the daemon's own
+        # defaults apply otherwise (and coalesce with other clients' work).
+        options = _resolve_options(args)
+        options_doc = options.to_dict() if options != VerifierOptions() else None
+        for target in targets:
+            name, source = _load_source(target)
+            tasks.append({"name": name, "source": source})
+    except (FileNotFoundError, OSError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        try:
+            client.connect()
+        except (ConnectionError, OSError) as error:
+            print(
+                f"error: cannot reach daemon at {args.host}:{args.port}: {error}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        results = client.submit_many(
+            tasks, options=options_doc, include_precision=args.include_precision
+        )
+        payload: dict[str, Any] = {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "tasks": len(results),
+            "verdicts": {
+                verdict: sum(1 for r in results if r["verdict"] == verdict)
+                for verdict in sorted({r["verdict"] for r in results})
+            },
+            "results": results,
+        }
+        if args.show_stats:
+            try:
+                payload["daemon"] = client.stats()
+            except ServiceError as error:
+                payload["daemon"] = {"error": str(error)}
+        if args.shutdown:
+            try:
+                client.shutdown()
+                payload["shutdown"] = "draining"
+            except ServiceError as error:
+                payload["shutdown"] = f"failed: {error}"
+        output = json.dumps(payload, indent=2)
+        if args.output:
+            Path(args.output).write_text(output + "\n")
+            print(f"wrote {args.output} ({len(results)} results)")
+        else:
+            print(output)
+    finally:
+        client.close()
+    if not results and args.shutdown:
+        return EXIT_SAFE
+    decided = all(r["verdict"] in (Verdict.SAFE, Verdict.UNSAFE) for r in results)
+    return EXIT_SAFE if decided else EXIT_UNKNOWN
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     for name in sorted(PROGRAMS):
         program = PROGRAMS[name]
@@ -450,6 +569,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_parser.add_argument("--json", action="store_true", help="machine-readable output")
     fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the verification daemon (JSON over TCP)",
+        description="A long-lived verification service: asyncio front, "
+        "bounded request queue over a supervised worker pool, request "
+        "coalescing by program fingerprint + options, and cross-request "
+        "warm-starting through a shared precision store.  SIGTERM/SIGINT "
+        "drain gracefully: stop accepting, finish in-flight work, flush "
+        "the store.",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=_DEFAULT_SERVE_PORT, metavar="N",
+        help=f"TCP port; 0 picks a free one (default: {_DEFAULT_SERVE_PORT})",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent engine runs (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="admitted-but-waiting verify jobs beyond the workers; further "
+        "new work is rejected with a 429-style 'overloaded' doc "
+        "(default: 16)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="S",
+        help="per-request isolation wall: clamps each request's max_seconds "
+        "budget and arms the supervisor's task timeout (default: none)",
+    )
+    _add_engine_options(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="send programs to a running daemon (JSON results)",
+        description="Verify a corpus through a running `repro serve` daemon. "
+        "Requests pipeline over one connection, so identical programs "
+        "coalesce server-side; transport failures come back as structured "
+        "result docs.",
+    )
+    submit_parser.add_argument(
+        "targets", nargs="*", help="source files and/or built-in names"
+    )
+    submit_parser.add_argument(
+        "--suite", action="store_true", help="include every built-in program"
+    )
+    submit_parser.add_argument(
+        "--host", default="127.0.0.1", help="daemon address (default: 127.0.0.1)"
+    )
+    submit_parser.add_argument(
+        "--port", type=int, default=_DEFAULT_SERVE_PORT, metavar="N",
+        help=f"daemon port (default: {_DEFAULT_SERVE_PORT})",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="socket timeout per response (default: 600)",
+    )
+    _add_engine_options(submit_parser)
+    submit_parser.add_argument(
+        "--include-precision", action="store_true",
+        help="ship each task's final predicate bank back in the result doc",
+    )
+    submit_parser.add_argument(
+        "--show-stats", action="store_true",
+        help="append the daemon's stats document to the output",
+    )
+    submit_parser.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to drain gracefully after the batch",
+    )
+    submit_parser.add_argument(
+        "--output", "-o", metavar="FILE", help="write the JSON document to FILE"
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
 
     list_parser = subparsers.add_parser("list", help="list built-in benchmark programs")
     list_parser.set_defaults(func=_cmd_list)

@@ -60,6 +60,19 @@ kind                site                   effect when fired
                                            parallel exploration this models
                                            a slow worker that the merge
                                            barrier must wait out)
+``drop-connection`` ``serve-response``     the daemon closes the client's
+                                           TCP connection instead of writing
+                                           the response (a network drop
+                                           mid-response; the client must
+                                           turn the EOF into a structured
+                                           failure doc, and the server-side
+                                           result must still be banked)
+``slow-client``     ``client-send``        the client splits its request
+                                           bytes and sleeps ``seconds``
+                                           between the halves (a slow/
+                                           trickling sender; the daemon's
+                                           per-connection reader must not
+                                           stall other connections)
 ==================  =====================  ==================================
 
 Determinism: a spec with ``probability < 1`` gates on a SHA-256 of
@@ -96,6 +109,7 @@ __all__ = [
 #: Every fault kind a spec may name.
 FAULT_KINDS = (
     "crash", "hang", "slow", "error", "corrupt-store", "flaky-pickle", "slow-post",
+    "drop-connection", "slow-client",
 )
 
 #: Instrumented sites and the kinds that fire there.
@@ -103,6 +117,8 @@ FAULT_SITES = {
     "task": ("crash", "hang", "slow", "error"),
     "store-load": ("corrupt-store", "flaky-pickle"),
     "post": ("slow-post",),
+    "serve-response": ("drop-connection",),
+    "client-send": ("slow-client",),
 }
 
 #: Exit status of an injected worker crash — distinctive enough that a test
@@ -319,7 +335,10 @@ def fire(
     made the straggler by key).
 
     ``store-load``-site faults are *returned* instead — the store owns the
-    file being corrupted, so it applies the effect itself.
+    file being corrupted, so it applies the effect itself.  The server-path
+    faults (``drop-connection``, ``slow-client``) are likewise returned: the
+    daemon owns the transport it is about to drop, and the client owns the
+    socket it is about to trickle bytes into.
 
     With no plan installed this is a no-op returning ``None`` (the production
     fast path: one global read).

@@ -1,0 +1,34 @@
+"""Verification-as-a-service: a long-lived daemon over the engine stack.
+
+The pieces (see ``serve/README.md`` for the protocol and lifecycle):
+
+* :mod:`repro.serve.protocol` — newline-delimited JSON over TCP; requests,
+  responses, error codes, and the structured transport-failure doc.
+* :mod:`repro.serve.coalesce` — request coalescing by
+  ``(program_fingerprint, options)`` and bounded 429-style admission.
+* :mod:`repro.serve.server` — :class:`VerificationService`: asyncio front,
+  supervised worker threads, shared warm-start
+  :class:`~repro.core.api.PrecisionStore`, graceful drain.
+* :mod:`repro.serve.client` — :class:`ServiceClient`: a pipelining client
+  whose verifies never raise (failures come back as schema-v2 docs).
+
+CLI: ``python -m repro serve`` runs the daemon, ``python -m repro submit``
+sends work to it.
+"""
+
+from .client import DEFAULT_PORT, ServiceClient, ServiceError, wait_until_ready
+from .protocol import MAX_LINE_BYTES, OPS, PROTOCOL_VERSION, ProtocolError
+from .server import ServiceConfig, VerificationService
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "VerificationService",
+    "wait_until_ready",
+]

@@ -1,0 +1,659 @@
+"""The verification daemon: an asyncio front over a supervised worker pool.
+
+Architecture
+------------
+
+::
+
+    TCP clients ──> asyncio loop (one thread) ──> ThreadPoolExecutor
+       │              │  parse / admit / coalesce     │  one engine run per
+       │              │  (Coalescer, AdmissionControl │  request, supervised
+       │              │   — loop-confined, lock-free) │  (fresh VcChecker)
+       └── responses <─┘ ── futures resolve ──────────┘
+                              │
+                       shared Session / PrecisionStore
+                       (warm-start seeds out, precisions banked back)
+
+The front accepts newline-delimited JSON (see :mod:`repro.serve.protocol`);
+each request line becomes its own asyncio task, so slow verifies never block
+``stats``/``health`` probes — not even on the same connection.
+
+Every verify runs through a **single-task sequential**
+:class:`~repro.core.supervision.Supervisor` inside a worker thread: the
+PR 6 machinery (per-task timeout, retry with backoff, structured failure
+docs) applies per request, and the ``task`` fault site fires inside the
+request — an injected worker crash mid-request becomes a retry or a
+structured ``failure`` doc, never a dropped connection.
+
+Each request builds a **fresh engine and VcChecker** (via the same
+module-level ``_run_batch_task`` the batch pool uses): prepared solver
+contexts are not safe to share across threads.  What *is* shared — and what
+makes the daemon more than a loop around the CLI — is the session's
+:class:`~repro.core.api.PrecisionStore`: decided precisions are banked
+under the program fingerprint and seed later requests, so a repeat
+fingerprint does strictly fewer abstract posts (cross-request
+warm-starting).  Dict/set merges under the GIL plus one banking lock keep
+the store coherent across worker threads.
+
+Budget isolation: every request gets its own
+:class:`~repro.core.engine.Budget` from its own options; the service-level
+``request_timeout`` clamps each request's ``max_seconds`` and arms the
+supervisor's ``task_timeout``, so one pathological program burns only its
+own budget while concurrent small requests proceed on the other workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+from ..core import faults
+from ..core.api import Session, VerifierOptions
+from ..core.engine import _run_batch_task, error_doc
+from ..core.supervision import RetryPolicy, Supervisor
+from . import protocol
+from .coalesce import AdmissionControl, Coalescer, options_key
+
+__all__ = ["ServiceConfig", "VerificationService"]
+
+
+@dataclass
+class ServiceConfig:
+    """Daemon configuration.
+
+    ``options`` are the server-side defaults; a request's ``options`` dict
+    (full :meth:`VerifierOptions.to_dict` form or any subset of its keys)
+    replaces them wholesale for that request.  ``request_timeout`` is the
+    per-request isolation wall: it clamps the request's ``max_seconds``
+    budget and arms the supervisor's ``task_timeout``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; read it from service.port
+    workers: int = 2
+    max_queue: int = 16
+    request_timeout: Optional[float] = None
+    store_path: Optional[Union[str, Path]] = None
+    options: VerifierOptions = field(default_factory=VerifierOptions)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0 or None, got {self.request_timeout}"
+            )
+
+
+class VerificationService:
+    """A long-lived verification service (see module docstring).
+
+    Two ways to run it:
+
+    * :meth:`serve_forever` — the CLI path: owns the calling thread, installs
+      SIGTERM/SIGINT handlers that trigger a graceful drain, returns once
+      drained.
+    * :meth:`start` / :meth:`stop` — the embedded path (tests, the fuzz
+      oracle, benchmarks): the loop runs on a daemon thread; ``stop()``
+      drains and joins.
+
+    Graceful drain: stop accepting connections, reject new verifies with a
+    503-style ``shutting-down`` error, finish every in-flight engine run and
+    write its response, flush the precision store to disk, then exit.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.session = Session(
+            self.config.options, store_path=self.config.store_path
+        )
+        self.coalescer = Coalescer()
+        self.admission = AdmissionControl(self.config.workers, self.config.max_queue)
+        self._bank_lock = threading.Lock()
+        # Counters (loop thread or under _bank_lock; reads are GIL-atomic).
+        self.requests_total = 0
+        self.verify_requests = 0
+        self.engine_runs = 0
+        self.warm_hits = 0
+        self.posts_executed = 0
+        self.connections_total = 0
+        self.connections_dropped = 0
+        self.supervision_totals = {
+            "retries": 0,
+            "crashes": 0,
+            "timeouts": 0,
+            "worker_errors": 0,
+            "tasks_failed": 0,
+            "tasks_recovered": 0,
+        }
+        # Runtime state.
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._thread: Optional[threading.Thread] = None
+        self._draining = False
+        self._drained: Optional[asyncio.Event] = None
+        self._jobs: set = set()  # in-flight engine futures
+        self._request_tasks: set = set()  # in-flight request-handler tasks
+        self._connections: set = set()  # open StreamWriters
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def _main(
+        self, on_ready: Optional[Callable[["VerificationService"], None]] = None
+    ) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._drained = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-serve"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        if threading.current_thread() is threading.main_thread():
+            # CLI path: SIGTERM/SIGINT begin a graceful drain.  Signal
+            # handlers only attach from the main thread; the embedded path
+            # drains through stop() instead.
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self._begin_drain)
+                except (NotImplementedError, ValueError, RuntimeError):
+                    break
+        if on_ready is not None:
+            on_ready(self)
+        self._started.set()
+        try:
+            await self._drained.wait()
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+
+    def _begin_drain(self) -> None:
+        """Schedule the drain coroutine (idempotent; loop thread only)."""
+        if not self._draining:
+            asyncio.ensure_future(self._drain())
+
+    async def _drain(self) -> None:
+        """Stop accepting, finish in-flight work, flush the store, exit."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Finish in-flight engine runs *and* the request tasks writing their
+        # responses (a job finishing is not enough — its waiters still have
+        # to put the result docs on the wire).
+        while self._jobs or self._request_tasks:
+            pending = list(self._jobs) + list(self._request_tasks)
+            await asyncio.wait(pending)
+        if self.session.store.path is not None:
+            await self._loop.run_in_executor(None, self.session.store.save)
+        for writer in list(self._connections):
+            writer.close()
+        self._drained.set()
+
+    def serve_forever(
+        self, on_ready: Optional[Callable[["VerificationService"], None]] = None
+    ) -> None:
+        """Run the daemon on the calling thread until drained (CLI path)."""
+        try:
+            asyncio.run(self._main(on_ready=on_ready))
+        finally:
+            self._stopped.set()
+
+    def start(self, timeout: float = 15.0) -> "VerificationService":
+        """Run the daemon on a background thread; returns once listening."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+
+        def _runner() -> None:
+            try:
+                asyncio.run(self._main())
+            except BaseException as error:  # pragma: no cover - startup bugs
+                self._startup_error = error
+            finally:
+                self._started.set()
+                self._stopped.set()
+
+        self._thread = threading.Thread(
+            target=_runner, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError(f"service did not start within {timeout}s")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 120.0) -> None:
+        """Drain gracefully and wait for the loop thread to exit."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed() and not self._stopped.is_set():
+            try:
+                loop.call_soon_threadsafe(self._begin_drain)
+            except RuntimeError:
+                pass  # loop already closed between the checks
+        self._stopped.wait(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        self.connections_total += 1
+        write_lock = asyncio.Lock()
+        pending: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the stream limit: answer and hang up —
+                    # the stream cannot be re-synchronised mid-line.
+                    await self._send(
+                        writer,
+                        write_lock,
+                        protocol.error_response(
+                            None,
+                            "bad-request",
+                            f"request line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break  # client EOF
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                pending.add(task)
+                self._request_tasks.add(task)
+                task.add_done_callback(pending.discard)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            if pending:
+                # The client stopped sending but responses may still be in
+                # flight; finish them before closing (harmless if the peer
+                # is already gone — the writes just fail quietly).
+                await asyncio.wait(pending)
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        doc: dict[str, Any],
+    ) -> None:
+        data = protocol.encode(doc)
+        async with write_lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                # The client went away; server-side effects (banked
+                # precision, counters) already happened and stand.
+                pass
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.requests_total += 1
+        try:
+            request = protocol.parse_request(line)
+        except protocol.ProtocolError as error:
+            await self._send(
+                writer,
+                write_lock,
+                protocol.error_response(error.request_id, error.code, str(error)),
+            )
+            return
+        request_id = request.get("id")
+        op = request["op"]
+        try:
+            if op == "verify":
+                await self._handle_verify(request, writer, write_lock)
+            elif op == "stats":
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.ok_response(request_id, "stats", stats=self.statistics()),
+                )
+            elif op == "cache":
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.ok_response(request_id, "cache", cache=self._cache_doc()),
+                )
+            elif op == "health":
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.ok_response(request_id, "health", health=self._health_doc()),
+                )
+            elif op == "shutdown":
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.ok_response(request_id, "shutdown", draining=True),
+                )
+                self._begin_drain()
+        except Exception as error:  # pragma: no cover - bug backstop
+            await self._send(
+                writer,
+                write_lock,
+                protocol.error_response(request_id, "internal", repr(error)),
+            )
+
+    # ------------------------------------------------------------------
+    # Verify
+    # ------------------------------------------------------------------
+    async def _handle_verify(
+        self,
+        request: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.verify_requests += 1
+        request_id = request.get("id")
+        if self._draining:
+            await self._send(
+                writer,
+                write_lock,
+                protocol.error_response(
+                    request_id, "shutting-down", "daemon is draining; resubmit elsewhere"
+                ),
+            )
+            return
+        try:
+            opts = (
+                VerifierOptions.from_dict(request["options"])
+                if request.get("options")
+                else self.config.options
+            )
+        except (ValueError, TypeError, KeyError) as error:
+            await self._send(
+                writer,
+                write_lock,
+                protocol.error_response(request_id, "bad-request", f"options: {error}"),
+            )
+            return
+        name = request.get("name")
+        try:
+            task = self.session.task(request["source"], name=name, options=opts)
+            program = task.resolved()
+            fingerprint = task.fingerprint
+            name = task.name or program.name
+        except Exception as error:
+            # A source that does not parse is an engine-level failure, not a
+            # protocol error: same isolation the batch path gives it.
+            await self._send_result(
+                writer, write_lock, request_id, error_doc(name or "request", error),
+                coalesced=False, name=name,
+            )
+            return
+        key = (fingerprint, options_key(opts))
+        job, created = self.coalescer.attach(key)
+        if created:
+            if not self.admission.try_admit():
+                self.coalescer.abandon(key)
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.error_response(
+                        request_id,
+                        "overloaded",
+                        f"{self.admission.pending} jobs pending "
+                        f"(capacity {self.admission.capacity}); retry later",
+                    ),
+                )
+                return
+            # No await between attach() and setting job.future: attachers on
+            # this single-threaded loop always observe a populated future.
+            future = self._loop.run_in_executor(
+                self._executor, self._execute, task.source, name, fingerprint, opts
+            )
+            job.future = future
+            self._jobs.add(future)
+            future.add_done_callback(lambda fut, key=key: self._job_done(fut, key))
+        try:
+            doc, rendered_precision = await job.future
+        except Exception as error:  # pragma: no cover - bug backstop
+            await self._send(
+                writer,
+                write_lock,
+                protocol.error_response(request_id, "internal", repr(error)),
+            )
+            return
+        doc = dict(doc)
+        if request.get("include_precision"):
+            doc["precision"] = rendered_precision
+        await self._send_result(
+            writer, write_lock, request_id, doc, coalesced=not created, name=name
+        )
+
+    def _job_done(self, future: Any, key: tuple[str, str]) -> None:
+        """Loop-thread callback when an engine run resolves."""
+        self._jobs.discard(future)
+        self.coalescer.finish(key)
+        self.admission.release()
+
+    async def _send_result(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        request_id: Any,
+        doc: dict[str, Any],
+        coalesced: bool,
+        name: Optional[str],
+    ) -> None:
+        spec = faults.fire("serve-response", (name or "*", str(request_id)))
+        if spec is not None and spec.kind == "drop-connection":
+            # Injected network drop mid-response: the bytes never go out.
+            # Server-side state (banked precision, counters) stands; the
+            # client library turns the EOF into a structured failure doc.
+            self.connections_dropped += 1
+            self._connections.discard(writer)
+            writer.close()
+            return
+        await self._send(
+            writer,
+            write_lock,
+            protocol.result_response(request_id, doc, coalesced=coalesced),
+        )
+
+    # ------------------------------------------------------------------
+    # The engine run (worker thread)
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        source: str,
+        name: str,
+        fingerprint: str,
+        opts: VerifierOptions,
+    ) -> tuple[dict[str, Any], dict[str, list[str]]]:
+        """One supervised engine run; returns (result doc, rendered bank).
+
+        Runs on an executor thread.  Must never raise: every failure mode is
+        the supervisor's to structure, and anything past it is a bug caught
+        by the outer ``except`` below.
+        """
+        try:
+            budget = dict(vars(opts.budget()))
+            timeout = self.config.request_timeout
+            if timeout is not None:
+                budget["max_seconds"] = (
+                    timeout
+                    if budget.get("max_seconds") is None
+                    else min(budget["max_seconds"], timeout)
+                )
+            seed = (
+                self.session.store.payload(fingerprint) if opts.warm_start else None
+            )
+            payload = {
+                "name": name,
+                "source": source,
+                "refiner": opts.refiner,
+                "strategy": opts.strategy,
+                "budget": budget,
+                "incremental": opts.incremental,
+                "max_predicates_per_location": opts.max_predicates_per_location,
+                "max_cache_entries": opts.max_cache_entries,
+                "portfolio_refiners": list(opts.portfolio_refiners),
+                "slice_refinements": opts.slice_refinements,
+                "slice_seconds": opts.slice_seconds,
+                "monitor_window": opts.monitor_window,
+                "jobs": opts.jobs,
+                "seed": seed,
+                "ship_precision": True,
+            }
+            supervisor = Supervisor(
+                worker=_run_batch_task,
+                jobs=1,  # sequential: this thread *is* the worker
+                task_timeout=timeout,
+                retry=RetryPolicy(
+                    max_retries=opts.task_retries, degrade=opts.degrade_on_retry
+                ),
+            )
+            doc = supervisor.run_batch([payload], keys=[(fingerprint, name)])[0]
+            precision_payload = doc.pop("_precision", None)
+            rendered = {
+                location: sorted(str(predicate) for predicate in predicates)
+                for location, predicates in sorted((precision_payload or {}).items())
+            }
+            failed = doc.get("verdict") == "error" or doc.get("failure")
+            with self._bank_lock:
+                self.engine_runs += 1
+                self.session.tasks_run += 1
+                self.posts_executed += doc.get("post_decisions") or 0
+                stats = supervisor.statistics()
+                for counter in self.supervision_totals:
+                    self.supervision_totals[counter] += stats.get(counter, 0)
+                if not failed:
+                    if seed:
+                        self.warm_hits += 1
+                        self.session.warm_starts += 1
+                    self.session._bank_decided(
+                        fingerprint, doc.get("verdict"), precision_payload
+                    )
+            if not failed:
+                doc.setdefault("engine", {})
+                if isinstance(doc["engine"], dict):
+                    doc["engine"]["session"] = Session._provenance(
+                        fingerprint,
+                        bool(seed),
+                        sum(len(preds) for preds in (seed or {}).values()),
+                    )
+            return doc, rendered
+        except Exception as error:  # pragma: no cover - bug backstop
+            return error_doc(name, error), {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, Any]:
+        """Service + session counters (the ``stats`` endpoint body)."""
+        session_stats = self.session.statistics()
+        session_stats.pop("checker", None)  # large; the cache op covers caches
+        return {
+            "service": {
+                "draining": self._draining,
+                "workers": self.config.workers,
+                "max_queue": self.config.max_queue,
+                "request_timeout": self.config.request_timeout,
+                "requests_total": self.requests_total,
+                "verify_requests": self.verify_requests,
+                "engine_runs": self.engine_runs,
+                "coalesce_hits": self.coalescer.coalesce_hits,
+                "warm_hits": self.warm_hits,
+                "rejections": self.admission.rejections,
+                "posts_executed": self.posts_executed,
+                "pending": self.admission.pending,
+                "queue_depth": self.admission.queue_depth,
+                "peak_pending": self.admission.peak_pending,
+                "in_flight": self.coalescer.in_flight,
+                "connections_total": self.connections_total,
+                "connections_dropped": self.connections_dropped,
+                "supervision": dict(self.supervision_totals),
+            },
+            "session": session_stats,
+            "store": self._store_doc(),
+        }
+
+    def _store_doc(self) -> dict[str, Any]:
+        store = self.session.store
+        return {
+            "programs": len(store),
+            "predicates": sum(
+                store.total_predicates(fingerprint)
+                for fingerprint in store.fingerprints()
+            ),
+            "path": str(store.path) if store.path is not None else None,
+        }
+
+    def _cache_doc(self) -> dict[str, Any]:
+        store = self.session.store
+        return {
+            "store": {
+                **self._store_doc(),
+                "fingerprints": sorted(store.fingerprints()),
+            },
+            "checker_caches": self.session.checker.cache_sizes(),
+        }
+
+    def _health_doc(self) -> dict[str, Any]:
+        from .. import __version__  # late: repro/__init__ imports this package
+
+        uptime = (
+            time.monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "status": "draining" if self._draining else "ready",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_seconds": round(uptime, 3),
+            "workers": self.config.workers,
+            "queue_depth": self.admission.queue_depth,
+            "pending": self.admission.pending,
+        }

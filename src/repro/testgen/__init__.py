@@ -24,6 +24,7 @@ from .differential import (
     fuzz_options,
     run_fuzz,
     run_oracle,
+    shutdown_serve_oracle,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "fuzz_options",
     "run_fuzz",
     "run_oracle",
+    "shutdown_serve_oracle",
 ]

@@ -23,6 +23,13 @@ an earlier PR established, and compares exactly what that PR guarantees:
     same total budget (PR 3): verdicts must agree whenever both decide
     (the standalone arm may exhaust the budget the portfolio's shared
     checker saved it — explained divergence).
+``serve``
+    A live verification daemon vs an in-process engine (PR 9): verdicts,
+    precisions, post decisions and nodes created must be **bit-identical**
+    — the daemon builds a fresh checker per request and the fuzz options
+    pin ``warm_start=False``, so the wire is the only difference.  The
+    daemon is started once (in-process, on a background thread) and shared
+    by every program in the run.
 
 A program generated with a planted bug additionally checks the engine's
 *soundness* directly: a ``safe`` verdict on a planted-bug program is
@@ -63,6 +70,7 @@ __all__ = [
     "fuzz_options",
     "run_oracle",
     "run_fuzz",
+    "shutdown_serve_oracle",
     "oracle_failure_predicate",
     "write_reproducer",
     "load_corpus",
@@ -70,7 +78,7 @@ __all__ = [
 ]
 
 #: The paired-configuration oracles, in the order they run.
-ORACLES = ("batched", "incremental", "parallel", "portfolio")
+ORACLES = ("batched", "incremental", "parallel", "portfolio", "serve")
 
 _DECIDED = (Verdict.SAFE, Verdict.UNSAFE)
 
@@ -305,11 +313,75 @@ def _oracle_portfolio(function, options):
     return record, mismatches
 
 
+# One lazily started in-process daemon shared by every serve-oracle run
+# (per-program daemons would dominate fuzz wall-clock); reset by
+# shutdown_serve_oracle().
+_SERVE_ENDPOINT = None
+
+
+def _serve_endpoint():
+    global _SERVE_ENDPOINT
+    if _SERVE_ENDPOINT is None:
+        from ..serve.client import ServiceClient
+        from ..serve.server import ServiceConfig, VerificationService
+
+        service = VerificationService(ServiceConfig(port=0, workers=2)).start()
+        client = ServiceClient("127.0.0.1", service.port)
+        _SERVE_ENDPOINT = (service, client)
+    return _SERVE_ENDPOINT
+
+
+def shutdown_serve_oracle() -> None:
+    """Stop the serve oracle's shared daemon (tests; otherwise it lives on a
+    daemon thread until process exit)."""
+    global _SERVE_ENDPOINT
+    if _SERVE_ENDPOINT is not None:
+        service, client = _SERVE_ENDPOINT
+        _SERVE_ENDPOINT = None
+        client.close()
+        service.stop()
+
+
+def _oracle_serve(function, options):
+    """Daemon vs in-process: a live service must answer like a local engine.
+
+    Valid as a *bit-identical* comparison because the daemon builds a fresh
+    checker per request and :func:`fuzz_options` pins ``warm_start=False``
+    (no store seeding) and rejects wall-clock budgets — both sides run the
+    same deterministic engine, one of them behind the wire.
+    """
+    reference = _engine_record(function, options)
+    _, client = _serve_endpoint()
+    doc = client.verify(
+        format_function(function), options=options, include_precision=True
+    )
+    variant = {
+        "verdict": doc.get("verdict"),
+        "post_decisions": doc.get("post_decisions", -1),
+        "precision": doc.get("precision") or {},
+        "nodes_created": (doc.get("engine") or {}).get("nodes_created", 0),
+        "refinements": doc.get("refinements", -1),
+    }
+    if doc.get("verdict") not in _DECIDED and not variant["precision"]:
+        # The daemon only ships banked precision, and only decided runs
+        # bank (an undecided precision is dominated by whatever made the
+        # run diverge) — so on matching undecided verdicts the precision
+        # leg of the comparison is vacuous, not a mismatch.
+        variant["precision"] = reference["precision"]
+    record = {"in_process": reference, "daemon": variant}
+    if doc.get("failure"):
+        record["daemon_failure"] = doc["failure"]
+    return record, _compare_bit_identical(
+        "serve", reference, variant, ("in-process", "daemon")
+    )
+
+
 _ORACLE_FUNCS: dict[str, Callable] = {
     "batched": _oracle_batched,
     "incremental": _oracle_incremental,
     "parallel": _oracle_parallel,
     "portfolio": _oracle_portfolio,
+    "serve": _oracle_serve,
 }
 
 

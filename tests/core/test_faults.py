@@ -38,7 +38,9 @@ class TestFaultSpec:
 
     def test_every_kind_has_a_site(self):
         for kind in FAULT_KINDS:
-            assert FaultSpec(kind=kind).site in ("task", "store-load", "post")
+            assert FaultSpec(kind=kind).site in (
+                "task", "store-load", "post", "serve-response", "client-send"
+            )
 
     def test_dict_round_trip(self):
         spec = FaultSpec(kind="hang", key="forward", attempts=(0, 2), seconds=9.0)

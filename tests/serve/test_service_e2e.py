@@ -1,0 +1,250 @@
+"""End-to-end acceptance of the daemon (ISSUE 9).
+
+The contract: a fresh daemon, the 12-program benchmark suite submitted twice
+over the wire by 4 concurrent clients — every verdict identical to the
+sequential in-process engine, the second pass showing warm-start post
+reductions and nonzero coalesce hits in ``stats``, and a fault-injected
+worker crash mid-suite still yielding one structured result doc per request.
+A subprocess test pins the SIGTERM drain path of the real CLI daemon.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.api import Session, VerifierOptions
+from repro.core.faults import FaultPlan, FaultSpec, installed
+from repro.lang.programs import PROGRAMS
+from repro.serve import ServiceClient, ServiceConfig, VerificationService
+
+#: The benchmark suite of benchmarks/run_all.py: (program, max_refinements).
+SUITE_12 = [
+    ("forward", 8),
+    ("initcheck", 8),
+    ("double_counter", 8),
+    ("up_down", 8),
+    ("lock_step", 8),
+    ("diamond_safe", 8),
+    ("simple_safe", 8),
+    ("simple_unsafe", 8),
+    ("array_init_const", 8),
+    ("array_copy", 8),
+    ("array_init_buggy", 8),
+    ("initcheck_buggy", 5),
+]
+
+
+def _suite_tasks():
+    return [
+        {
+            "source": PROGRAMS[name].source,
+            "name": name,
+            "options": {"max_refinements": cap},
+        }
+        for name, cap in SUITE_12
+    ]
+
+
+def _sequential_reference():
+    session = Session(VerifierOptions(warm_start=False))
+    verdicts = {}
+    for name, cap in SUITE_12:
+        result = session.run(
+            session.task(name, options=VerifierOptions(max_refinements=cap))
+        )
+        verdicts[name] = result.verdict
+    return verdicts
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(600)
+def test_four_concurrent_clients_two_passes_match_sequential_engine():
+    reference = _sequential_reference()
+    service = VerificationService(ServiceConfig(workers=4, max_queue=64)).start()
+    try:
+        tasks = _suite_tasks()
+        passes: list[list[list[dict]]] = []
+        for _ in range(2):
+            barrier = threading.Barrier(4)
+            batch: list[list[dict]] = [None] * 4
+            errors: list[BaseException] = []
+
+            def one_client(slot):
+                try:
+                    barrier.wait()
+                    with ServiceClient(port=service.port) as client:
+                        batch[slot] = client.submit_many(tasks)
+                except BaseException as error:  # surfaced after join
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=one_client, args=(slot,)) for slot in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors
+            passes.append(batch)
+
+        # Every one of the 96 responses is structured and matches the
+        # sequential engine's verdict.
+        for batch in passes:
+            for docs in batch:
+                assert len(docs) == len(SUITE_12)
+                for (name, _), doc in zip(SUITE_12, docs):
+                    assert doc["schema_version"] == 2
+                    assert doc["verdict"] == reference[name], (name, doc)
+
+        # Second pass warm-starts: strictly fewer posts for every program
+        # that needed refinement on the cold pass.
+        def min_posts(batch, index):
+            return min(docs[index]["post_decisions"] for docs in batch)
+
+        reductions = 0
+        for index, (name, _) in enumerate(SUITE_12):
+            cold = min_posts(passes[0], index)
+            warm = min_posts(passes[1], index)
+            assert warm <= cold, (name, cold, warm)
+            if warm < cold:
+                reductions += 1
+        assert reductions >= 5, "warm pass should reduce posts broadly"
+
+        with ServiceClient(port=service.port) as client:
+            stats = client.stats()["service"]
+        # 4 clients x 12 programs x 2 passes = 96 verify requests, but far
+        # fewer engine runs: identical in-flight requests coalesced.
+        assert stats["verify_requests"] == 96
+        assert stats["coalesce_hits"] > 0
+        assert stats["engine_runs"] + stats["coalesce_hits"] == 96
+        assert stats["warm_hits"] > 0
+        assert stats["rejections"] == 0
+    finally:
+        service.stop()
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(300)
+def test_worker_crash_mid_suite_still_one_doc_per_request():
+    names = ["forward", "initcheck", "simple_safe", "simple_unsafe", "up_down"]
+    reference = _sequential_reference()
+    # Two programs crash on their first attempt (recovered by retry), one
+    # crashes on every attempt (settles as a structured failure).
+    plan = FaultPlan(
+        [
+            FaultSpec(kind="crash", key="forward", attempts=(0,)),
+            FaultSpec(kind="crash", key="initcheck", attempts=(0,)),
+            FaultSpec(kind="crash", key="up_down", attempts=()),
+        ]
+    )
+    service = VerificationService(ServiceConfig(workers=2)).start()
+    try:
+        with installed(plan):
+            with ServiceClient(port=service.port) as client:
+                docs = client.submit_many(
+                    [
+                        {
+                            "source": PROGRAMS[name].source,
+                            "name": name,
+                            "options": {"max_refinements": 8},
+                        }
+                        for name in names
+                    ]
+                )
+        assert len(docs) == len(names)  # exactly one doc per request
+        by_name = {doc["name"]: doc for doc in docs}
+        for name in ("forward", "initcheck"):
+            assert by_name[name]["verdict"] == reference[name]
+            assert by_name[name]["attempts"] == 2  # crashed once, recovered
+        assert by_name["up_down"]["verdict"] == "unknown"
+        assert by_name["up_down"]["failure"]["kind"] == "crash"
+        for name in ("simple_safe", "simple_unsafe"):
+            assert by_name[name]["verdict"] == reference[name]
+        stats = service.statistics()["service"]["supervision"]
+        assert stats["crashes"] >= 3
+        assert stats["tasks_recovered"] == 2
+        assert stats["tasks_failed"] == 1
+    finally:
+        service.stop()
+
+
+@pytest.mark.slow
+@pytest.mark.timeout(180)
+def test_sigterm_drains_real_daemon_subprocess(tmp_path):
+    """SIGTERM mid-batch: in-flight work finishes, responses arrive, the
+    store flushes, and the process exits 0."""
+    store_path = tmp_path / "bank.pkl"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--precision-store",
+            str(store_path),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(tmp_path),
+    )
+    try:
+        ready = proc.stdout.readline()
+        match = re.search(r"127\.0\.0\.1:(\d+)", ready)
+        assert match, f"no ready line: {ready!r}"
+        port = int(match.group(1))
+
+        results = {}
+
+        def submit():
+            with ServiceClient(port=port, timeout=120.0) as client:
+                results["docs"] = client.submit_many(
+                    [
+                        {
+                            "source": PROGRAMS[name].source,
+                            "name": name,
+                            "options": {"max_refinements": 8},
+                        }
+                        for name in ("forward", "double_counter", "lock_step", "up_down")
+                    ]
+                )
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        time.sleep(0.4)  # let the batch get in flight
+        proc.send_signal(signal.SIGTERM)
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        assert "drained" in out
+        # Every response arrived as a structured doc despite the SIGTERM.
+        docs = results["docs"]
+        assert len(docs) == 4
+        assert all(doc.get("schema_version") == 2 for doc in docs)
+        assert {doc["verdict"] for doc in docs} <= {"safe", "unsafe", "unknown"}
+        # In-flight work was finished, not abandoned: decided verdicts made
+        # it into the flushed store.
+        assert store_path.exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()

@@ -1,0 +1,159 @@
+"""Server-path fault injection: every fault yields a structured failure doc,
+never a hung client or a half-written response (ISSUE 9 satellite)."""
+
+import pytest
+
+from repro.core import faults
+from repro.core.faults import FAULT_KINDS, FAULT_SITES, FaultPlan, FaultSpec, installed
+from repro.serve import ServiceClient, ServiceConfig, VerificationService
+
+
+@pytest.fixture
+def service():
+    service = VerificationService(ServiceConfig(workers=2)).start()
+    yield service
+    service.stop()
+
+
+def test_server_path_fault_sites_registered():
+    assert "drop-connection" in FAULT_KINDS
+    assert "slow-client" in FAULT_KINDS
+    assert FAULT_SITES["serve-response"] == ("drop-connection",)
+    assert FAULT_SITES["client-send"] == ("slow-client",)
+    assert FaultSpec(kind="drop-connection").site == "serve-response"
+    assert FaultSpec(kind="slow-client").site == "client-send"
+
+
+def test_server_path_kinds_are_returned_not_raised():
+    plan = FaultPlan([FaultSpec(kind="drop-connection", key="x", attempts=())])
+    with installed(plan):
+        spec = faults.fire("serve-response", ("x",))
+    assert spec is not None and spec.kind == "drop-connection"
+
+
+class TestWorkerCrashMidRequest:
+    def test_crash_is_retried_to_a_verdict(self, service):
+        plan = FaultPlan([FaultSpec(kind="crash", key="simple_safe", attempts=(0,))])
+        with installed(plan):
+            with ServiceClient(port=service.port) as client:
+                doc = client.verify("simple_safe")
+        # First attempt crashed, the supervisor's retry decided the task.
+        assert doc["verdict"] == "safe"
+        assert doc["attempts"] == 2
+        assert doc["failures"][0]["kind"] == "crash"
+        stats = service.statistics()["service"]["supervision"]
+        assert stats["crashes"] == 1
+        assert stats["tasks_recovered"] == 1
+
+    def test_unrecoverable_crash_is_a_structured_failure_doc(self, service):
+        # attempts=() fires on every attempt: the task can never succeed.
+        plan = FaultPlan([FaultSpec(kind="crash", key="simple_safe", attempts=())])
+        with installed(plan):
+            with ServiceClient(port=service.port) as client:
+                doc = client.verify("simple_safe")
+        assert doc["verdict"] == "unknown"
+        assert doc["schema_version"] == 2
+        assert doc["failure"]["kind"] == "crash"
+        assert doc["attempts"] >= 1
+        assert len(doc["failures"]) == doc["attempts"]
+
+    def test_crash_doc_does_not_poison_the_store(self, service):
+        plan = FaultPlan([FaultSpec(kind="crash", key="forward", attempts=())])
+        with installed(plan):
+            with ServiceClient(port=service.port) as client:
+                failed = client.verify("forward")
+        assert failed["verdict"] == "unknown"
+        # The failed run banked nothing; a clean rerun starts cold and works.
+        with ServiceClient(port=service.port) as client:
+            clean = client.verify("forward")
+        assert clean["verdict"] == "safe"
+        assert not clean["engine"]["session"]["warm_started"]
+
+
+class TestConnectionDropMidResponse:
+    def test_drop_becomes_a_structured_failure_doc(self, service):
+        plan = FaultPlan(
+            [FaultSpec(kind="drop-connection", key="simple_safe", attempts=(0,))]
+        )
+        with installed(plan):
+            client = ServiceClient(port=service.port)
+            doc = client.verify("simple_safe")
+            client.close()
+        assert doc["verdict"] == "unknown"
+        assert doc["failure"]["kind"] == "connection-lost"
+        assert doc["schema_version"] == 2
+        assert service.connections_dropped == 1
+
+    def test_server_side_result_survives_the_drop(self, service):
+        # The engine run completed and banked before the drop: a clean
+        # retry on a fresh connection warm-starts from it.
+        plan = FaultPlan(
+            [FaultSpec(kind="drop-connection", key="forward", max_fires=1, attempts=())]
+        )
+        with installed(plan):
+            client = ServiceClient(port=service.port)
+            dropped = client.verify("forward")
+            assert dropped["failure"]["kind"] == "connection-lost"
+            retried = client.verify("forward")  # client reconnected itself
+        client.close()
+        assert retried["verdict"] == "safe"
+        assert retried["engine"]["session"]["warm_started"]
+
+    def test_drop_does_not_affect_other_requests(self, service):
+        plan = FaultPlan(
+            [FaultSpec(kind="drop-connection", key="unlucky", attempts=())]
+        )
+        with installed(plan):
+            with ServiceClient(port=service.port) as client:
+                docs = client.submit_many(
+                    [
+                        {"source": "simple_safe", "name": "unlucky"},
+                        {"source": "simple_unsafe", "name": "fine"},
+                    ]
+                )
+        # The dropped request is a structured transport failure; its sibling
+        # on the shared connection is either its real verdict (its response
+        # beat the drop) or the same structured failure — never a hang,
+        # never an exception.
+        assert docs[0]["verdict"] == "unknown"
+        assert docs[0]["failure"]["kind"] == "connection-lost"
+        assert docs[1]["verdict"] in ("unsafe", "unknown")
+        assert all("verdict" in doc for doc in docs)
+
+
+class TestSlowClient:
+    def test_trickled_request_still_answered(self, service):
+        plan = FaultPlan(
+            [FaultSpec(kind="slow-client", key="simple_safe", attempts=(), seconds=0.3)]
+        )
+        with installed(plan):
+            with ServiceClient(port=service.port) as client:
+                doc = client.verify("simple_safe")
+        assert doc["verdict"] == "safe"
+
+    def test_slow_client_does_not_stall_other_connections(self, service):
+        import threading
+        import time
+
+        plan = FaultPlan(
+            [FaultSpec(kind="slow-client", key="lock_step", attempts=(), seconds=1.5)]
+        )
+        results = {}
+
+        def slow():
+            with installed(plan):
+                with ServiceClient(port=service.port) as client:
+                    results["slow"] = client.verify("lock_step")
+
+        thread = threading.Thread(target=slow)
+        thread.start()
+        time.sleep(0.2)  # slow sender mid-trickle
+        started = time.monotonic()
+        with ServiceClient(port=service.port) as client:
+            results["fast"] = client.verify("simple_unsafe")
+        fast_elapsed = time.monotonic() - started
+        thread.join()
+        assert results["fast"]["verdict"] == "unsafe"
+        assert results["slow"]["verdict"] == "safe"
+        # The fast client finished while the slow one was still trickling.
+        assert fast_elapsed < 1.3
