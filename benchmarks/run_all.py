@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr9.json``.
+"""Run the ``bench_e*`` experiment suite and emit ``BENCH_pr10.json``.
 
-Nine data sections feed the perf trajectory (``benchmarks/trend_diff.py``
-diffs the engine, parallel, fuzz and service sections of consecutive
-snapshots in CI):
+Ten data sections feed the perf trajectory (``benchmarks/trend_diff.py``
+diffs the engine, parallel, fuzz, service and chaos sections of
+consecutive snapshots in CI):
 
 * ``pytest``      — every ``bench_e*.py`` benchmark run through
   pytest-benchmark (wall time per benchmark plus the experiment facts each
@@ -44,10 +44,17 @@ snapshots in CI):
   banked for the cold one), plus a summary row with the daemon's
   coalesce/warm-hit counters and the 8-identical-concurrent-requests
   coalesce ratio (must stay ≤ 1.25× one request's posts).
+* ``chaos``       — the process-backend daemon under a seeded schedule that
+  SIGKILLs the worker process of ~20% of the suite's programs on their
+  first attempt: per program the clean/faulted verdicts and post counters
+  (victim rows carry ``"fault_injected": true`` and are exempt from the
+  trend check), plus a summary row with the recovery counters, the journal
+  lag after the batch (must be 0) and the crash-overhead wall-clock ratio
+  (must stay ≤ 1.5× the fault-free run).
 
 Usage::
 
-    python benchmarks/run_all.py                  # full run, writes BENCH_pr9.json
+    python benchmarks/run_all.py                  # full run, writes BENCH_pr10.json
     python benchmarks/run_all.py --skip-pytest    # direct sections only (fast)
     python benchmarks/run_all.py -o out.json
 """
@@ -614,11 +621,127 @@ def run_service_section() -> list[dict]:
         service.stop()
 
 
+#: The chaos section's seeded schedule: the fraction of suite programs whose
+#: first attempt SIGKILLs its worker process (mirrors bench_e13_chaos.py).
+CHAOS_SEED = 2027
+CHAOS_CRASH_RATE = 0.2
+
+
+def run_chaos_section() -> list[dict]:
+    """The process-backend daemon under a seeded worker-crash schedule.
+
+    One row per suite program in the trend layout (``clean``/``faulted``
+    modes with ``post_decisions``); victim rows carry
+    ``"fault_injected": True`` so the trend check skips them.  The summary
+    row holds the crash-overhead ratio (the bench_e13 bar: ≤ 1.5× the
+    fault-free wall) and the request-journal lag after the batch (must be
+    0: every accepted request was answered despite the kills).
+    """
+    import random
+    import tempfile
+
+    from repro.core.faults import FaultPlan, FaultSpec, installed
+    from repro.serve import ServiceClient, ServiceConfig, VerificationService
+
+    rng = random.Random(CHAOS_SEED)
+    count = max(1, round(CHAOS_CRASH_RATE * len(ENGINE_PROGRAMS)))
+    victims = set(rng.sample([name for name, _ in ENGINE_PROGRAMS], count))
+    plan = FaultPlan(
+        [
+            FaultSpec(kind="kill-worker", key=name, attempts=(0,))
+            for name in sorted(victims)
+        ]
+    )
+
+    def run_pass(journal_path: Path):
+        service = VerificationService(
+            ServiceConfig(
+                workers=4,
+                max_queue=32,
+                worker_backend="process",
+                journal_path=journal_path,
+            )
+        ).start()
+        try:
+            started = time.perf_counter()
+            with ServiceClient(port=service.port, timeout=600.0) as client:
+                docs = client.submit_many(
+                    [
+                        {
+                            "source": name,
+                            "name": name,
+                            "options": {"max_refinements": budget},
+                        }
+                        for name, budget in ENGINE_PROGRAMS
+                    ]
+                )
+            seconds = round(time.perf_counter() - started, 4)
+            stats = service.statistics()["service"]
+        finally:
+            service.stop()
+        return docs, seconds, stats
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clean_docs, clean_seconds, _ = run_pass(Path(tmp) / "clean.wal")
+        with installed(plan):
+            faulted_docs, faulted_seconds, stats = run_pass(
+                Path(tmp) / "faulted.wal"
+            )
+
+    rows: list[dict] = []
+    for clean, faulted in zip(clean_docs, faulted_docs):
+        row: dict = {
+            "program": faulted["name"],
+            "clean": {
+                "verdict": clean["verdict"],
+                "post_decisions": clean["post_decisions"],
+            },
+            "faulted": {
+                "verdict": faulted["verdict"],
+                "post_decisions": faulted["post_decisions"],
+                "attempts": faulted["attempts"],
+            },
+            "verdicts_agree": clean["verdict"] == faulted["verdict"],
+        }
+        if faulted["name"] in victims:
+            row["fault_injected"] = True
+            row["recovered"] = bool(faulted.get("failures"))
+        rows.append(row)
+        marker = " [killed]" if faulted["name"] in victims else ""
+        print(
+            f"  {faulted['name']:18s} clean={clean['verdict']:7s} "
+            f"faulted={faulted['verdict']:7s} "
+            f"attempts={faulted['attempts']}{marker}"
+        )
+    supervision = stats["supervision"]
+    summary = {
+        "program": "summary",
+        "worker_backend": "process",
+        "fault_plan": plan.to_payload(),
+        "clean_seconds": clean_seconds,
+        "faulted_seconds": faulted_seconds,
+        "overhead_ratio": round(faulted_seconds / clean_seconds, 4),
+        "crashes": supervision["crashes"],
+        "tasks_recovered": supervision["tasks_recovered"],
+        "tasks_failed": supervision["tasks_failed"],
+        "journal_lag": stats["journal"]["lag"],
+        "verdicts_agree": all(row["verdicts_agree"] for row in rows),
+    }
+    rows.append(summary)
+    print(
+        f"  clean={clean_seconds}s faulted={faulted_seconds}s "
+        f"({summary['overhead_ratio']}x), crashes={summary['crashes']} "
+        f"recovered={summary['tasks_recovered']} "
+        f"journal_lag={summary['journal_lag']}"
+    )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr9.json"),
-        help="where to write the JSON report (default: repo root BENCH_pr9.json)",
+        "--output", "-o", default=str(REPO_ROOT / "BENCH_pr10.json"),
+        help="where to write the JSON report (default: repo root BENCH_pr10.json)",
     )
     parser.add_argument(
         "--skip-pytest", action="store_true",
@@ -644,6 +767,8 @@ def main(argv=None) -> int:
     report["sections"]["fuzz"] = run_fuzz_section()
     print("service section (the daemon over a real socket, cold vs warm):")
     report["sections"]["service"] = run_service_section()
+    print("chaos section (process-backend daemon under injected worker kills):")
+    report["sections"]["chaos"] = run_chaos_section()
     if not args.skip_pytest:
         print("pytest section (bench_e*.py):")
         report["sections"]["pytest"] = run_pytest_section()
@@ -676,6 +801,20 @@ def main(argv=None) -> int:
     if service_summary["coalesce_ratio"] > 1.25:
         disagreements.append(
             f"service coalesce ratio {service_summary['coalesce_ratio']} > 1.25"
+        )
+    disagreements += [
+        f"{row['program']} (chaos)"
+        for row in report["sections"]["chaos"]
+        if not row.get("verdicts_agree", True)
+    ]
+    chaos_summary = report["sections"]["chaos"][-1]
+    if chaos_summary["overhead_ratio"] > 1.5:
+        disagreements.append(
+            f"chaos crash-overhead ratio {chaos_summary['overhead_ratio']} > 1.5"
+        )
+    if chaos_summary["journal_lag"]:
+        disagreements.append(
+            f"chaos journal lag {chaos_summary['journal_lag']} != 0"
         )
     if disagreements:
         print(f"VERDICT DISAGREEMENTS: {disagreements}", file=sys.stderr)

@@ -342,6 +342,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             request_timeout=args.request_timeout,
             store_path=args.precision_store,
             options=options,
+            worker_backend=args.worker_backend,
+            journal_path=args.request_journal,
+            recover=args.recover,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
         )
         service = VerificationService(config)
     except (OSError, ValueError, TypeError) as error:
@@ -349,12 +356,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return EXIT_ERROR
 
     def _announce(ready: VerificationService) -> None:
+        # The ready line stays first on stdout (scripts parse it for the
+        # port); the journal recovery report follows it.
         print(
             f"repro-serve listening on {config.host}:{ready.port} "
-            f"(pid {os.getpid()}, {config.workers} workers, "
-            f"queue {config.max_queue}); SIGTERM drains gracefully",
+            f"(pid {os.getpid()}, {config.workers} {config.worker_backend} "
+            f"workers, queue {config.max_queue}); SIGTERM drains gracefully",
             flush=True,
         )
+        journal = ready.journal
+        if journal is not None and journal.recovered:
+            names = ", ".join(
+                str(record.get("name") or f"seq{record.get('seq')}")
+                for record in journal.recovered[:8]
+            )
+            if len(journal.recovered) > 8:
+                names += ", ..."
+            action = "re-executing" if config.recover else "not re-executed (pass --recover)"
+            print(
+                f"repro-serve journal: {len(journal.recovered)} accepted-but-"
+                f"unanswered request(s) recovered from {journal.path} "
+                f"({names}); {action}",
+                flush=True,
+            )
 
     try:
         service.serve_forever(on_ready=_announce)
@@ -386,7 +410,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except (FileNotFoundError, OSError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR
-    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    client = ServiceClient(
+        args.host,
+        args.port,
+        timeout=args.timeout,
+        retries=args.transport_retries,
+        client_id=args.client_id,
+    )
     try:
         try:
             client.connect()
@@ -602,6 +632,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request isolation wall: clamps each request's max_seconds "
         "budget and arms the supervisor's task timeout (default: none)",
     )
+    serve_parser.add_argument(
+        "--worker-backend", choices=("thread", "process"), default="thread",
+        help="where engine runs execute: 'thread' shares the daemon's "
+        "address space; 'process' gives each request an isolated worker "
+        "process, so a segfault/OOM/kill -9 of a worker becomes a "
+        "structured failure doc instead of daemon death (default: thread)",
+    )
+    serve_parser.add_argument(
+        "--request-journal", metavar="PATH", default=None,
+        help="durable request journal (write-ahead log): accepted requests "
+        "are fsync'd to PATH before execution and marked on response; on "
+        "restart, accepted-but-unanswered work is reported (default: off)",
+    )
+    serve_parser.add_argument(
+        "--recover", action="store_true",
+        help="re-execute journal-recovered unanswered requests on startup "
+        "(needs --request-journal); resubmitting clients coalesce onto the "
+        "recovery runs",
+    )
+    serve_parser.add_argument(
+        "--quota-rate", type=float, default=None, metavar="R",
+        help="per-client token-bucket rate (verify requests/second, keyed "
+        "by the request's client_id); over-rate requests get a 429 "
+        "'quota-exceeded' doc with retry_after (default: no quotas)",
+    )
+    serve_parser.add_argument(
+        "--quota-burst", type=int, default=20, metavar="N",
+        help="per-client bucket capacity (default: 20; only with --quota-rate)",
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive worker crashes on one (fingerprint, options) key "
+        "before its circuit trips and submissions short-circuit with a "
+        "503 'circuit-open' doc; 0 disables (default: 3)",
+    )
+    serve_parser.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="S",
+        help="seconds an open circuit rejects before allowing one "
+        "half-open probe (default: 30)",
+    )
     _add_engine_options(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -629,6 +699,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument(
         "--timeout", type=float, default=600.0, metavar="S",
         help="socket timeout per response (default: 600)",
+    )
+    submit_parser.add_argument(
+        "--client-id", default=None, metavar="ID",
+        help="identify this client for the daemon's per-client quotas",
+    )
+    submit_parser.add_argument(
+        "--transport-retries", type=int, default=0, metavar="N",
+        help="reconnect-and-resubmit a lost connection up to N times with "
+        "capped exponential backoff (safe: identical resubmissions "
+        "coalesce / warm-start server-side; default: 0)",
     )
     _add_engine_options(submit_parser)
     submit_parser.add_argument(

@@ -73,6 +73,18 @@ kind                site                   effect when fired
                                            trickling sender; the daemon's
                                            per-connection reader must not
                                            stall other connections)
+``kill-worker``     ``task``               worker: ``SIGKILL`` of the worker
+                                           process itself — a genuine
+                                           ``kill -9`` mid-request, not a
+                                           tidy exit (exercises the
+                                           process-backend daemon's crash
+                                           isolation); in-process: raises
+                                           :class:`InjectedCrash`
+``journal-torn-write``  ``journal-append``  the request journal writes only a
+                                           partial record (a torn write from
+                                           a crash mid-``write``); recovery
+                                           must detect the framing violation
+                                           and drop the tail
 ==================  =====================  ==================================
 
 Determinism: a spec with ``probability < 1`` gates on a SHA-256 of
@@ -109,16 +121,17 @@ __all__ = [
 #: Every fault kind a spec may name.
 FAULT_KINDS = (
     "crash", "hang", "slow", "error", "corrupt-store", "flaky-pickle", "slow-post",
-    "drop-connection", "slow-client",
+    "drop-connection", "slow-client", "kill-worker", "journal-torn-write",
 )
 
 #: Instrumented sites and the kinds that fire there.
 FAULT_SITES = {
-    "task": ("crash", "hang", "slow", "error"),
+    "task": ("crash", "hang", "slow", "error", "kill-worker"),
     "store-load": ("corrupt-store", "flaky-pickle"),
     "post": ("slow-post",),
     "serve-response": ("drop-connection",),
     "client-send": ("slow-client",),
+    "journal-append": ("journal-torn-write",),
 }
 
 #: Exit status of an injected worker crash — distinctive enough that a test
@@ -338,7 +351,9 @@ def fire(
     file being corrupted, so it applies the effect itself.  The server-path
     faults (``drop-connection``, ``slow-client``) are likewise returned: the
     daemon owns the transport it is about to drop, and the client owns the
-    socket it is about to trickle bytes into.
+    socket it is about to trickle bytes into.  So is the ``journal-append``
+    site's ``journal-torn-write``: the request journal owns the file whose
+    write it is about to tear.
 
     With no plan installed this is a no-op returning ``None`` (the production
     fast path: one global read).
@@ -356,6 +371,17 @@ def fire(
             os._exit(CRASH_EXIT_CODE)
         raise InjectedCrash(
             f"injected crash (key={spec.key!r}, attempt {attempt})"
+        )
+    if spec.kind == "kill-worker":
+        if in_worker:
+            # A genuine `kill -9` of the worker process: uncatchable, no
+            # exit handlers, no status byte of our choosing — exactly what
+            # an OOM killer or an operator's kill does to a pool worker.
+            import signal as _signal
+
+            os.kill(os.getpid(), _signal.SIGKILL)
+        raise InjectedCrash(
+            f"injected worker kill (key={spec.key!r}, attempt {attempt})"
         )
     if spec.kind == "hang":
         if in_worker:

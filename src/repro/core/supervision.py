@@ -183,7 +183,8 @@ class Supervisor:
 
     ``worker`` is the module-level task function (defaults to the engine's
     batch worker); it must be picklable and must return a result document.
-    ``jobs`` is the pool width (``<= 1`` runs everything in-process).
+    ``jobs`` is the pool width (``<= 1`` runs everything in-process unless
+    ``force_pool`` asks for process isolation even for a single task).
     ``task_timeout`` is the per-task wall-clock bound, enforced by killing
     the worker's process — it is therefore only enforceable in pool mode;
     the in-process fallback notes a hang but cannot preempt it (injected
@@ -208,6 +209,8 @@ class Supervisor:
         fault_plan: Optional[FaultPlan] = None,
         max_pool_rebuilds: Optional[int] = None,
         sleep: Callable[[float], None] = time.sleep,
+        force_pool: bool = False,
+        mp_context: Optional[Any] = None,
     ) -> None:
         if worker is None:
             from .engine import _run_batch_task
@@ -224,6 +227,18 @@ class Supervisor:
         self.fault_plan = fault_plan if fault_plan is not None else faults.active_plan()
         if max_pool_rebuilds is not None:
             self.max_pool_rebuilds = max_pool_rebuilds
+        #: Use the pool path even at ``jobs == 1`` — process isolation for a
+        #: single task (the daemon's ``worker_backend="process"`` runs every
+        #: request this way so a hard worker death cannot take the service).
+        self.force_pool = force_pool
+        #: Multiprocessing context (or start-method name) for pool workers.
+        #: A multi-threaded parent must not ``fork`` mid-lock — pass
+        #: ``"forkserver"`` or ``"spawn"`` there.
+        if isinstance(mp_context, str):
+            import multiprocessing
+
+            mp_context = multiprocessing.get_context(mp_context)
+        self.mp_context = mp_context
         self._sleep = sleep
         # Counters (see statistics()).
         self.tasks_supervised = 0
@@ -275,7 +290,7 @@ class Supervisor:
         self.tasks_supervised += len(tasks)
         if len(tasks) == 0:
             return []
-        if self.jobs > 1:
+        if self.jobs > 1 or self.force_pool:
             self._run_pool(tasks)
         else:
             self._run_sequential(tasks)
@@ -341,7 +356,12 @@ class Supervisor:
                     if self.pool_rebuilds > self.max_pool_rebuilds:
                         break  # degrade below
                     try:
-                        executor = ProcessPoolExecutor(max_workers=self.jobs)
+                        if self.mp_context is not None:
+                            executor = ProcessPoolExecutor(
+                                max_workers=self.jobs, mp_context=self.mp_context
+                            )
+                        else:
+                            executor = ProcessPoolExecutor(max_workers=self.jobs)
                     except (OSError, PermissionError, ImportError):
                         break  # platform refuses pools: degrade below
                 # Fill free slots with ready tasks (backoff-respecting).

@@ -6,29 +6,42 @@ The pieces (see ``serve/README.md`` for the protocol and lifecycle):
   responses, error codes, and the structured transport-failure doc.
 * :mod:`repro.serve.coalesce` — request coalescing by
   ``(program_fingerprint, options)`` and bounded 429-style admission.
+* :mod:`repro.serve.journal` — the durable request journal: a framed,
+  fsync'd write-ahead log of accepted work, replayed on restart.
+* :mod:`repro.serve.quota` — per-client token-bucket quotas and the
+  ``(fingerprint, options)`` circuit breaker.
 * :mod:`repro.serve.server` — :class:`VerificationService`: asyncio front,
-  supervised worker threads, shared warm-start
+  supervised worker threads or crash-isolated worker *processes*
+  (``worker_backend="process"``), shared warm-start
   :class:`~repro.core.api.PrecisionStore`, graceful drain.
 * :mod:`repro.serve.client` — :class:`ServiceClient`: a pipelining client
-  whose verifies never raise (failures come back as schema-v2 docs).
+  whose verifies never raise (failures come back as schema-v2 docs) and
+  which can reconnect-and-resubmit across daemon restarts.
 
 CLI: ``python -m repro serve`` runs the daemon, ``python -m repro submit``
 sends work to it.
 """
 
 from .client import DEFAULT_PORT, ServiceClient, ServiceError, wait_until_ready
+from .journal import RequestJournal
 from .protocol import MAX_LINE_BYTES, OPS, PROTOCOL_VERSION, ProtocolError
-from .server import ServiceConfig, VerificationService
+from .quota import CircuitBreaker, ClientQuota, TokenBucket
+from .server import WORKER_BACKENDS, ServiceConfig, VerificationService
 
 __all__ = [
     "DEFAULT_PORT",
     "MAX_LINE_BYTES",
     "OPS",
     "PROTOCOL_VERSION",
+    "CircuitBreaker",
+    "ClientQuota",
     "ProtocolError",
+    "RequestJournal",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "TokenBucket",
     "VerificationService",
+    "WORKER_BACKENDS",
     "wait_until_ready",
 ]

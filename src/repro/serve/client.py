@@ -18,6 +18,19 @@ A client holds one connection, lazily opened and transparently reopened
 after a transport failure.  :meth:`submit_many` pipelines: all requests go
 out before any response is read, which is what makes server-side coalescing
 observable from a single client.
+
+Reconnect-and-retry: with ``retries > 0`` a ``connection-lost`` mid-batch
+(the daemon restarted, a proxy dropped the socket, an injected
+``drop-connection``) is not final — the client backs off (capped
+exponential), reconnects, and resubmits only the still-unanswered
+requests.  This is safe *because the daemon makes it idempotent*:
+an identical resubmission coalesces onto a still-running engine run, and
+a finished one warm-starts from the banked precision — verdicts never
+flip across retries.  Retried docs carry a ``transport`` trail
+(``{"attempts": n, "failures": [...]}``) so callers can see the bumps.
+Timeouts are *not* retried (the work may still be running server-side;
+resubmitting would double it), and ``retries=0`` (the default) keeps the
+original single-shot behaviour.
 """
 
 from __future__ import annotations
@@ -50,11 +63,25 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         timeout: float = 600.0,
         connect_timeout: float = 10.0,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 2.0,
+        client_id: Optional[str] = None,
     ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.connect_timeout = connect_timeout
+        #: Reconnect-and-resubmit budget for ``connection-lost`` mid-verify.
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_max = backoff_max
+        #: Quota accounting identity sent with every verify request.
+        self.client_id = client_id
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._next_id = 1
@@ -212,6 +239,8 @@ class ServiceClient:
             task_options = self._options_dict(task.get("options")) or default_options
             if task_options is not None:
                 request["options"] = task_options
+            if self.client_id is not None:
+                request["client_id"] = self.client_id
             if include_precision:
                 request["include_precision"] = True
             prepared.append(request)
@@ -226,24 +255,62 @@ class ServiceClient:
                     )
 
         by_id = {request["id"]: request for request in prepared}
-        try:
-            for request in prepared:
-                self._send_line(
-                    request, (request.get("name") or "*", str(request["id"]))
+        trail: list[dict[str, Any]] = []
+        retried_ids: set[int] = set()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                for request in prepared:
+                    if request["id"] in docs:
+                        continue  # answered on an earlier attempt
+                    self._send_line(
+                        request, (request.get("name") or "*", str(request["id"]))
+                    )
+                while len(docs) < len(prepared):
+                    response = self._read_response()
+                    request = by_id.get(response.get("id"))
+                    if request is None:
+                        continue  # stale response from an earlier abandoned call
+                    docs[request["id"]] = self._doc_from_response(request, response)
+                break
+            except (ConnectionError, socket.timeout, OSError) as error:
+                self.close()
+                is_timeout = isinstance(error, socket.timeout)
+                kind = "timeout" if is_timeout else "connection-lost"
+                if is_timeout or attempt > self.retries:
+                    _fail_outstanding(kind, str(error) or kind)
+                    break
+                # Reconnect-and-resubmit the unanswered remainder: safe
+                # because coalescing + banked precisions make an identical
+                # resubmission idempotent (see module docstring).
+                trail.append(
+                    {
+                        "kind": kind,
+                        "message": str(error) or kind,
+                        "attempt": attempt - 1,
+                    }
                 )
-            while len(docs) < len(prepared):
-                response = self._read_response()
-                request = by_id.get(response.get("id"))
-                if request is None:
-                    continue  # stale response from an earlier abandoned call
-                docs[request["id"]] = self._doc_from_response(request, response)
-        except (ConnectionError, socket.timeout, OSError) as error:
-            self.close()
-            kind = "timeout" if isinstance(error, socket.timeout) else "connection-lost"
-            _fail_outstanding(kind, str(error) or kind)
-        except ServiceError as error:
-            self.close()
-            _fail_outstanding("bad-response", str(error))
+                retried_ids.update(
+                    request["id"]
+                    for request in prepared
+                    if request["id"] not in docs
+                )
+                time.sleep(
+                    min(
+                        self.backoff_base * self.backoff_factor ** (attempt - 1),
+                        self.backoff_max,
+                    )
+                )
+            except ServiceError as error:
+                self.close()
+                _fail_outstanding("bad-response", str(error))
+                break
+        if trail:
+            for request_id in retried_ids:
+                doc = docs.get(request_id)
+                if doc is not None:
+                    doc["transport"] = {"attempts": attempt, "failures": list(trail)}
         return [docs[request["id"]] for request in prepared]
 
     @staticmethod

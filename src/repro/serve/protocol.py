@@ -14,6 +14,7 @@ Requests
     {"op": "verify", "id": 1, "source": "<program text>",
      "name": "forward",                 # optional display name
      "options": {"refiner": "interpolation", ...},   # optional VerifierOptions dict
+     "client_id": "ci-shard-3",         # optional; quota accounting key
      "include_precision": true}         # optional; ship the final predicate bank
     {"op": "stats",    "id": 2}
     {"op": "cache",    "id": 3}
@@ -52,6 +53,13 @@ code                 status  meaning
 ``overloaded``       429     admission control rejected the request: the
                              daemon already holds ``workers + max_queue``
                              uncoalesced verify jobs
+``quota-exceeded``   429     the client's token bucket is empty; the error
+                             body carries ``retry_after`` (seconds until the
+                             next token)
+``circuit-open``     503     the ``(fingerprint, options)`` circuit breaker
+                             is open after repeated worker crashes; the
+                             error body carries ``retry_after`` (seconds
+                             until a half-open probe is allowed)
 ``shutting-down``    503     the daemon is draining and accepts no new work
 ``internal``         500     an unexpected server-side error (bug)
 ===================  ======  ===============================================
@@ -93,6 +101,8 @@ ERROR_STATUS = {
     "bad-request": 400,
     "unsupported-op": 400,
     "overloaded": 429,
+    "quota-exceeded": 429,
+    "circuit-open": 503,
     "shutting-down": 503,
     "internal": 500,
 }
@@ -181,6 +191,11 @@ def parse_request(line: Union[bytes, str, Mapping[str, Any]]) -> dict[str, Any]:
             raise ProtocolError(
                 "bad-request", "'options' must be a VerifierOptions dict", request_id
             )
+        client_id = doc.get("client_id")
+        if client_id is not None and not isinstance(client_id, str):
+            raise ProtocolError(
+                "bad-request", "'client_id' must be a string", request_id
+            )
     return doc
 
 
@@ -207,17 +222,26 @@ def ok_response(request_id: Any, op: str, **body: Any) -> dict[str, Any]:
     return {"id": request_id, "ok": True, "op": op, **body}
 
 
-def error_response(request_id: Any, code: str, message: str) -> dict[str, Any]:
-    """A protocol-level rejection (the request never reached the engine)."""
-    return {
-        "id": request_id,
-        "ok": False,
-        "error": {
-            "code": code,
-            "status": ERROR_STATUS.get(code, 500),
-            "message": message,
-        },
+def error_response(
+    request_id: Any,
+    code: str,
+    message: str,
+    retry_after: Optional[float] = None,
+) -> dict[str, Any]:
+    """A protocol-level rejection (the request never reached the engine).
+
+    ``retry_after`` (seconds) rides inside the error body for throttling
+    rejections (``quota-exceeded`` / ``circuit-open``) so clients can back
+    off precisely.
+    """
+    error: dict[str, Any] = {
+        "code": code,
+        "status": ERROR_STATUS.get(code, 500),
+        "message": message,
     }
+    if retry_after is not None:
+        error["retry_after"] = round(float(retry_after), 3)
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def transport_failure_doc(

@@ -25,6 +25,25 @@ docs) applies per request, and the ``task`` fault site fires inside the
 request — an injected worker crash mid-request becomes a retry or a
 structured ``failure`` doc, never a dropped connection.
 
+With ``worker_backend="process"`` the same supervised run happens in an
+**isolated worker process** (``Supervisor(force_pool=True)`` on a
+``forkserver``/``spawn`` context — never ``fork``: this parent is
+multi-threaded): a hard worker death — ``kill -9``, OOM, a segfault —
+breaks only that request's private single-process pool; the supervisor
+retries it on a fresh worker or settles a structured ``failure`` doc, and
+the daemon keeps serving every other connection.  Warmth still flows
+between worker processes through the shared disk ``PrecisionStore``.
+
+Between the transport and the pool sit three loop-confined robustness
+layers: the **durable request journal** (:mod:`repro.serve.journal` — an
+admitted request is WAL-logged *before* execution and marked answered
+after its response reaches the transport, so a daemon crash cannot
+silently forget accepted work; ``--recover`` re-executes the backlog on
+restart), **per-client token-bucket quotas** and the **``(fingerprint,
+options)`` circuit breaker** (:mod:`repro.serve.quota` — repeated worker
+crashes on one submission short-circuit to a structured 503 instead of
+burning a pool rebuild per retry).
+
 Each request builds a **fresh engine and VcChecker** (via the same
 module-level ``_run_batch_task`` the batch pool uses): prepared solver
 contexts are not safe to share across threads.  What *is* shared — and what
@@ -60,8 +79,14 @@ from ..core.engine import _run_batch_task, error_doc
 from ..core.supervision import RetryPolicy, Supervisor
 from . import protocol
 from .coalesce import AdmissionControl, Coalescer, options_key
+from .journal import RequestJournal
+from .quota import CircuitBreaker, ClientQuota
 
-__all__ = ["ServiceConfig", "VerificationService"]
+__all__ = ["ServiceConfig", "VerificationService", "WORKER_BACKENDS"]
+
+#: Where engine runs execute: ``thread`` (shared address space, GIL-bound)
+#: or ``process`` (one isolated worker process per request, crash-proof).
+WORKER_BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -82,6 +107,21 @@ class ServiceConfig:
     request_timeout: Optional[float] = None
     store_path: Optional[Union[str, Path]] = None
     options: VerifierOptions = field(default_factory=VerifierOptions)
+    #: ``thread`` (default) or ``process`` — see :data:`WORKER_BACKENDS`.
+    worker_backend: str = "thread"
+    #: Durable request journal (WAL) path; ``None`` disables journaling.
+    journal_path: Optional[Union[str, Path]] = None
+    #: Re-execute journal-recovered unanswered requests on startup.
+    recover: bool = False
+    #: Per-client token-bucket rate (tokens/second); ``None`` disables quotas.
+    quota_rate: Optional[float] = None
+    #: Per-client bucket capacity (only meaningful with ``quota_rate``).
+    quota_burst: int = 20
+    #: Consecutive crashes on one (fingerprint, options) key before the
+    #: circuit trips; ``0`` disables the breaker.
+    breaker_threshold: int = 3
+    #: Seconds an open circuit rejects before allowing a half-open probe.
+    breaker_cooldown: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -92,6 +132,27 @@ class ServiceConfig:
             raise ValueError(
                 f"request_timeout must be > 0 or None, got {self.request_timeout}"
             )
+        if self.worker_backend not in WORKER_BACKENDS:
+            raise ValueError(
+                f"worker_backend must be one of {WORKER_BACKENDS}, "
+                f"got {self.worker_backend!r}"
+            )
+        if self.quota_rate is not None and self.quota_rate <= 0:
+            raise ValueError(
+                f"quota_rate must be > 0 or None, got {self.quota_rate}"
+            )
+        if self.quota_burst < 1:
+            raise ValueError(f"quota_burst must be >= 1, got {self.quota_burst}")
+        if self.breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be >= 0, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown < 0:
+            raise ValueError(
+                f"breaker_cooldown must be >= 0, got {self.breaker_cooldown}"
+            )
+        if self.recover and self.journal_path is None:
+            raise ValueError("recover=True needs a journal_path")
 
 
 class VerificationService:
@@ -118,6 +179,29 @@ class VerificationService:
         )
         self.coalescer = Coalescer()
         self.admission = AdmissionControl(self.config.workers, self.config.max_queue)
+        #: The durable request WAL (opening it replays + compacts the file).
+        self.journal: Optional[RequestJournal] = (
+            RequestJournal(self.config.journal_path)
+            if self.config.journal_path is not None
+            else None
+        )
+        self.quota: Optional[ClientQuota] = (
+            ClientQuota(self.config.quota_rate, self.config.quota_burst)
+            if self.config.quota_rate is not None
+            else None
+        )
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(
+                self.config.breaker_threshold, self.config.breaker_cooldown
+            )
+            if self.config.breaker_threshold > 0
+            else None
+        )
+        self._mp_context = (
+            self._pick_mp_context()
+            if self.config.worker_backend == "process"
+            else None
+        )
         self._bank_lock = threading.Lock()
         # Counters (loop thread or under _bank_lock; reads are GIL-atomic).
         self.requests_total = 0
@@ -127,6 +211,7 @@ class VerificationService:
         self.posts_executed = 0
         self.connections_total = 0
         self.connections_dropped = 0
+        self.recovery_runs = 0
         self.supervision_totals = {
             "retries": 0,
             "crashes": 0,
@@ -134,6 +219,8 @@ class VerificationService:
             "worker_errors": 0,
             "tasks_failed": 0,
             "tasks_recovered": 0,
+            "pool_rebuilds": 0,
+            "degraded_to_sequential": 0,
         }
         # Runtime state.
         self.port: Optional[int] = None
@@ -150,6 +237,27 @@ class VerificationService:
         self._stopped = threading.Event()
         self._startup_error: Optional[BaseException] = None
         self._started_at: Optional[float] = None
+
+    @staticmethod
+    def _pick_mp_context() -> Any:
+        """The start method for process-backend workers.
+
+        The daemon is multi-threaded (loop + executor threads), so ``fork``
+        is off the table — a child forked while another thread holds an
+        intern-table or banking lock inherits the lock in a locked state
+        with nobody to release it.  ``forkserver`` gives clean single-thread
+        forks with module preloading; ``spawn`` is the portable fallback.
+        """
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("forkserver")
+            # Pay the `import repro` cost once in the fork server, not once
+            # per pool worker (the pools are per-request and short-lived).
+            context.set_forkserver_preload(["repro.core.engine"])
+            return context
+        except ValueError:  # pragma: no cover - platform without forkserver
+            return multiprocessing.get_context("spawn")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -182,6 +290,14 @@ class VerificationService:
         if on_ready is not None:
             on_ready(self)
         self._started.set()
+        if (
+            self.config.recover
+            and self.journal is not None
+            and self.journal.recovered
+        ):
+            task = asyncio.ensure_future(self._recover_outstanding())
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
         try:
             await self._drained.wait()
         finally:
@@ -209,6 +325,8 @@ class VerificationService:
             await asyncio.wait(pending)
         if self.session.store.path is not None:
             await self._loop.run_in_executor(None, self.session.store.save)
+        if self.journal is not None:
+            self.journal.close()
         for writer in list(self._connections):
             writer.close()
         self._drained.set()
@@ -403,6 +521,23 @@ class VerificationService:
                 ),
             )
             return
+        client_id = request.get("client_id")
+        if self.quota is not None:
+            retry_after = self.quota.try_admit(client_id)
+            if retry_after is not None:
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.error_response(
+                        request_id,
+                        "quota-exceeded",
+                        f"client {client_id or 'anonymous'!s} is over its "
+                        f"{self.quota.rate}/s rate; retry after "
+                        f"{retry_after:.3f}s",
+                        retry_after=retry_after,
+                    ),
+                )
+                return
         try:
             opts = (
                 VerifierOptions.from_dict(request["options"])
@@ -431,6 +566,22 @@ class VerificationService:
             )
             return
         key = (fingerprint, options_key(opts))
+        if self.breaker is not None:
+            retry_after = self.breaker.check(key)
+            if retry_after is not None:
+                await self._send(
+                    writer,
+                    write_lock,
+                    protocol.error_response(
+                        request_id,
+                        "circuit-open",
+                        f"submissions for fingerprint {fingerprint[:12]}… keep "
+                        f"crashing workers; circuit open for another "
+                        f"{retry_after:.3f}s",
+                        retry_after=retry_after,
+                    ),
+                )
+                return
         job, created = self.coalescer.attach(key)
         if created:
             if not self.admission.try_admit():
@@ -446,6 +597,11 @@ class VerificationService:
                     ),
                 )
                 return
+            # Accepted: journal it *before* execution starts (WAL), so a
+            # daemon crash from here on cannot silently forget the request.
+            seq = self._journal_accept(
+                name, task.source, request.get("options"), fingerprint, client_id
+            )
             # No await between attach() and setting job.future: attachers on
             # this single-threaded loop always observe a populated future.
             future = self._loop.run_in_executor(
@@ -453,7 +609,9 @@ class VerificationService:
             )
             job.future = future
             self._jobs.add(future)
-            future.add_done_callback(lambda fut, key=key: self._job_done(fut, key))
+            future.add_done_callback(
+                lambda fut, key=key, seq=seq: self._job_done(fut, key, seq)
+            )
         try:
             doc, rendered_precision = await job.future
         except Exception as error:  # pragma: no cover - bug backstop
@@ -470,11 +628,139 @@ class VerificationService:
             writer, write_lock, request_id, doc, coalesced=not created, name=name
         )
 
-    def _job_done(self, future: Any, key: tuple[str, str]) -> None:
-        """Loop-thread callback when an engine run resolves."""
+    def _journal_accept(
+        self,
+        name: str,
+        source: str,
+        options: Optional[dict[str, Any]],
+        fingerprint: str,
+        client_id: Optional[str],
+    ) -> Optional[int]:
+        """WAL-log one admitted request (loop thread; fsync is microseconds).
+
+        Journal trouble (disk full, torn write) must never take down
+        serving: the request still runs, it just loses durability.
+        """
+        if self.journal is None:
+            return None
+        try:
+            return self.journal.accept(
+                name, source, options, fingerprint, client_id=client_id
+            )
+        except Exception:  # pragma: no cover - disk-level defensive
+            return None
+
+    def _job_done(
+        self, future: Any, key: tuple[str, str], seq: Optional[int] = None
+    ) -> None:
+        """Loop-thread callback when an engine run resolves.
+
+        Beyond releasing coalescing/admission state, this is where the
+        run's outcome feeds the circuit breaker (a *crash-kind* failure —
+        hard death, timeout, broken pool — is a strike; an engine-level
+        ``error`` verdict is a perfectly good answer and closes the
+        circuit) and where the journal marks the request answered.
+        """
         self._jobs.discard(future)
         self.coalescer.finish(key)
         self.admission.release()
+        verdict: Optional[str] = None
+        crashed = False
+        try:
+            doc, _ = future.result()
+            verdict = doc.get("verdict")
+            failure = doc.get("failure") or {}
+            crashed = verdict == "unknown" and failure.get("kind") in (
+                "crash", "timeout", "pool-broken", "pool-lost"
+            )
+        except Exception:  # pragma: no cover - bug backstop
+            crashed = True
+        if self.breaker is not None:
+            if crashed:
+                self.breaker.record_failure(key)
+            else:
+                self.breaker.record_success(key)
+        if self.journal is not None and seq is not None:
+            try:
+                self.journal.answer(seq, verdict)
+            except Exception:  # pragma: no cover - disk-level defensive
+                pass
+
+    async def _recover_outstanding(self) -> None:
+        """Re-execute journal-recovered accepted-but-unanswered requests.
+
+        Runs on the loop after startup (``--recover``).  Each recovered
+        record goes through the normal coalesce/admit path, so a client
+        resubmitting the same work coalesces onto the recovery run instead
+        of doubling it; when admission is saturated the backlog politely
+        waits for a slot rather than stampeding the fresh daemon.
+        """
+        for record in list(self.journal.recovered):
+            if self._draining:
+                return
+            seq = record.get("seq")
+            try:
+                raw_options = record.get("options")
+                opts = (
+                    VerifierOptions.from_dict(raw_options)
+                    if raw_options
+                    else self.config.options
+                )
+                task = self.session.task(
+                    record["source"], name=record.get("name"), options=opts
+                )
+                fingerprint = task.fingerprint
+                name = task.name or task.resolved().name
+            except Exception:
+                # Unparseable record (or source): answer it 'error' so the
+                # journal does not carry it forever.
+                if seq is not None:
+                    self.journal.answer(seq, "error")
+                continue
+            key = (fingerprint, options_key(opts))
+            while True:
+                job, created = self.coalescer.attach(key)
+                if not created:
+                    # An identical run is already in flight (e.g. the client
+                    # already resubmitted): ride it, just mark this record.
+                    job.future.add_done_callback(
+                        lambda fut, seq=seq: self._recovery_done(fut, seq)
+                    )
+                    break
+                if self.admission.try_admit():
+                    self.recovery_runs += 1
+                    future = self._loop.run_in_executor(
+                        self._executor,
+                        self._execute,
+                        task.source,
+                        name,
+                        fingerprint,
+                        opts,
+                    )
+                    job.future = future
+                    self._jobs.add(future)
+                    future.add_done_callback(
+                        lambda fut, key=key, seq=seq: self._job_done(fut, key, seq)
+                    )
+                    break
+                self.coalescer.abandon(key)
+                await asyncio.sleep(0.05)
+                if self._draining:
+                    return
+
+    def _recovery_done(self, future: Any, seq: Optional[int]) -> None:
+        """Mark a recovered record answered off someone else's run."""
+        if self.journal is None or seq is None:
+            return
+        try:
+            doc, _ = future.result()
+            verdict = doc.get("verdict")
+        except Exception:  # pragma: no cover - bug backstop
+            verdict = None
+        try:
+            self.journal.answer(seq, verdict)
+        except Exception:  # pragma: no cover - disk-level defensive
+            pass
 
     async def _send_result(
         self,
@@ -545,13 +831,19 @@ class VerificationService:
                 "seed": seed,
                 "ship_precision": True,
             }
+            # thread backend: sequential, this executor thread is the worker.
+            # process backend: force_pool gives the single task its own
+            # worker *process* — a hard death breaks only this request's
+            # private pool, never the daemon.
             supervisor = Supervisor(
                 worker=_run_batch_task,
-                jobs=1,  # sequential: this thread *is* the worker
+                jobs=1,
                 task_timeout=timeout,
                 retry=RetryPolicy(
                     max_retries=opts.task_retries, degrade=opts.degrade_on_retry
                 ),
+                force_pool=self.config.worker_backend == "process",
+                mp_context=self._mp_context,
             )
             doc = supervisor.run_batch([payload], keys=[(fingerprint, name)])[0]
             precision_payload = doc.pop("_precision", None)
@@ -597,6 +889,7 @@ class VerificationService:
             "service": {
                 "draining": self._draining,
                 "workers": self.config.workers,
+                "worker_backend": self.config.worker_backend,
                 "max_queue": self.config.max_queue,
                 "request_timeout": self.config.request_timeout,
                 "requests_total": self.requests_total,
@@ -612,7 +905,17 @@ class VerificationService:
                 "in_flight": self.coalescer.in_flight,
                 "connections_total": self.connections_total,
                 "connections_dropped": self.connections_dropped,
+                "recovery_runs": self.recovery_runs,
                 "supervision": dict(self.supervision_totals),
+                "journal": (
+                    self.journal.statistics() if self.journal is not None else None
+                ),
+                "quota": (
+                    self.quota.statistics() if self.quota is not None else None
+                ),
+                "breaker": (
+                    self.breaker.statistics() if self.breaker is not None else None
+                ),
             },
             "session": session_stats,
             "store": self._store_doc(),
@@ -654,6 +957,11 @@ class VerificationService:
             "pid": os.getpid(),
             "uptime_seconds": round(uptime, 3),
             "workers": self.config.workers,
+            "worker_backend": self.config.worker_backend,
             "queue_depth": self.admission.queue_depth,
             "pending": self.admission.pending,
+            "journal_lag": self.journal.lag if self.journal is not None else None,
+            "open_circuits": (
+                self.breaker.open_circuits if self.breaker is not None else 0
+            ),
         }

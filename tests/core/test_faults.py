@@ -39,7 +39,8 @@ class TestFaultSpec:
     def test_every_kind_has_a_site(self):
         for kind in FAULT_KINDS:
             assert FaultSpec(kind=kind).site in (
-                "task", "store-load", "post", "serve-response", "client-send"
+                "task", "store-load", "post", "serve-response",
+                "client-send", "journal-append",
             )
 
     def test_dict_round_trip(self):

@@ -1,0 +1,271 @@
+"""Per-client quotas and the fingerprint circuit breaker (ISSUE 10
+tentpole part 3)."""
+
+import pytest
+
+from repro.core.api import VerifierOptions
+from repro.core.faults import FaultPlan, FaultSpec, installed
+from repro.serve import (
+    CircuitBreaker,
+    ClientQuota,
+    ServiceClient,
+    ServiceConfig,
+    TokenBucket,
+    VerificationService,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Token bucket / quota units (fake clock: instant and deterministic)
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(3)] == [None, None, None]
+        retry_after = bucket.try_take()
+        assert retry_after is not None and retry_after == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is not None
+        clock.advance(0.5)  # 2/s for half a second = exactly one token
+        assert bucket.try_take() is None
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert [bucket.try_take() for _ in range(3)] == [None, None, 1 / 100.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestClientQuota:
+    def test_clients_have_independent_buckets(self):
+        clock = FakeClock()
+        quota = ClientQuota(rate=1.0, burst=1, clock=clock)
+        assert quota.try_admit("alice") is None
+        assert quota.try_admit("alice") is not None  # alice exhausted
+        assert quota.try_admit("bob") is None  # bob untouched
+        assert quota.throttled == 1
+        assert quota.statistics()["clients"] == 2
+
+    def test_anonymous_requests_share_one_bucket(self):
+        clock = FakeClock()
+        quota = ClientQuota(rate=1.0, burst=1, clock=clock)
+        assert quota.try_admit(None) is None
+        assert quota.try_admit(None) is not None
+        assert quota.try_admit("") is not None  # empty id == anonymous
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+        key = ("fp", "opts")
+        for _ in range(2):
+            breaker.record_failure(key)
+        assert breaker.check(key) is None  # two strikes: still closed
+        breaker.record_failure(key)
+        retry_after = breaker.check(key)
+        assert retry_after is not None and retry_after == pytest.approx(10.0)
+        assert breaker.tripped == 1
+
+    def test_success_resets_the_strike_count(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=clock)
+        key = ("fp", "opts")
+        breaker.record_failure(key)
+        breaker.record_success(key)
+        breaker.record_failure(key)
+        assert breaker.check(key) is None  # never two *consecutive* strikes
+
+    def test_unrelated_keys_are_independent(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure(("fp1", "o"))
+        assert breaker.check(("fp1", "o")) is not None
+        assert breaker.check(("fp2", "o")) is None
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        key = ("fp", "o")
+        breaker.record_failure(key)
+        assert breaker.check(key) is not None
+        clock.advance(5.0)
+        assert breaker.check(key) is None  # the half-open probe
+        assert breaker.check(key) is not None  # only one probe at a time
+        breaker.record_success(key)
+        assert breaker.check(key) is None  # probe succeeded: circuit closed
+
+    def test_failed_probe_retrips_for_a_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        key = ("fp", "o")
+        breaker.record_failure(key)
+        clock.advance(5.0)
+        assert breaker.check(key) is None  # probe admitted
+        breaker.record_failure(key)  # probe crashed too
+        retry_after = breaker.check(key)
+        assert retry_after is not None and retry_after == pytest.approx(5.0)
+
+
+# ----------------------------------------------------------------------
+# Service-level behaviour (live daemon)
+# ----------------------------------------------------------------------
+class TestQuotaOverTheWire:
+    def test_over_rate_client_gets_429_with_retry_after(self):
+        service = VerificationService(
+            ServiceConfig(workers=2, quota_rate=0.1, quota_burst=2)
+        ).start()
+        try:
+            with ServiceClient(port=service.port, client_id="greedy") as client:
+                docs = client.submit_many(
+                    [
+                        {"source": "simple_safe", "name": "a"},
+                        {"source": "simple_unsafe", "name": "b"},
+                        {"source": "forward", "name": "c"},
+                    ],
+                    options={"max_refinements": 4},
+                )
+            throttled = [d for d in docs if d.get("failure")]
+            assert len(throttled) == 1  # burst 2 passed, the third bounced
+            doc = throttled[0]
+            assert doc["verdict"] == "unknown"
+            assert doc["failure"]["kind"] == "quota-exceeded"
+            assert doc["error"]["status"] == 429
+            assert doc["error"]["retry_after"] > 0
+            stats = service.statistics()["service"]
+            assert stats["quota"]["throttled"] == 1
+        finally:
+            service.stop()
+
+    def test_other_clients_are_unaffected(self):
+        service = VerificationService(
+            ServiceConfig(workers=2, quota_rate=0.1, quota_burst=1)
+        ).start()
+        try:
+            with ServiceClient(port=service.port, client_id="greedy") as greedy:
+                first = greedy.verify("simple_safe", options={"max_refinements": 4})
+                second = greedy.verify("simple_safe", options={"max_refinements": 4})
+            with ServiceClient(port=service.port, client_id="patient") as patient:
+                other = patient.verify("simple_safe", options={"max_refinements": 4})
+            assert first["verdict"] == "safe"
+            assert second["failure"]["kind"] == "quota-exceeded"
+            assert other["verdict"] == "safe"
+        finally:
+            service.stop()
+
+    def test_no_quota_rate_means_no_throttling(self):
+        service = VerificationService(ServiceConfig(workers=2)).start()
+        try:
+            with ServiceClient(port=service.port, client_id="anyone") as client:
+                docs = client.submit_many(
+                    ["simple_safe"] * 6, options={"max_refinements": 4}
+                )
+            assert all(d["verdict"] == "safe" for d in docs)
+            assert service.statistics()["service"]["quota"] is None
+        finally:
+            service.stop()
+
+
+class TestBreakerOverTheWire:
+    @pytest.fixture
+    def crashy_service(self):
+        # Every attempt of 'cursed' crashes its worker; retries are off so
+        # each submission is exactly one strike.
+        service = VerificationService(
+            ServiceConfig(
+                workers=2,
+                breaker_threshold=2,
+                breaker_cooldown=60.0,
+                options=VerifierOptions(task_retries=0),
+            )
+        ).start()
+        yield service
+        service.stop()
+
+    def test_tripped_breaker_short_circuits_with_structured_doc(
+        self, crashy_service
+    ):
+        plan = FaultPlan([FaultSpec(kind="crash", key="cursed", attempts=())])
+        with installed(plan):
+            with ServiceClient(port=crashy_service.port) as client:
+                first = client.verify("simple_safe", name="cursed")
+                second = client.verify("simple_safe", name="cursed")
+                third = client.verify("simple_safe", name="cursed")
+                unrelated = client.verify("simple_unsafe", name="fine")
+        assert first["failure"]["kind"] == "crash"
+        assert second["failure"]["kind"] == "crash"
+        # Third never reaches a worker: the circuit is open.
+        assert third["failure"]["kind"] == "circuit-open"
+        assert third["error"]["status"] == 503
+        assert third["error"]["retry_after"] > 0
+        # An unrelated fingerprint still verifies while the circuit is open.
+        assert unrelated["verdict"] == "unsafe"
+        stats = crashy_service.statistics()["service"]["breaker"]
+        assert stats["tripped"] == 1
+        assert stats["open_circuits"] == 1
+        assert stats["rejections"] == 1
+
+    def test_engine_error_verdicts_do_not_trip_the_breaker(self, crashy_service):
+        with ServiceClient(port=crashy_service.port) as client:
+            for _ in range(3):
+                doc = client.verify("int main( {", name="broken")  # parse error
+                assert doc["verdict"] == "error"
+            # Parse errors are answers, not crashes: nothing tripped.
+            stats = crashy_service.statistics()["service"]["breaker"]
+            assert stats["tripped"] == 0
+
+    def test_breaker_disabled_with_zero_threshold(self):
+        service = VerificationService(
+            ServiceConfig(
+                workers=2,
+                breaker_threshold=0,
+                options=VerifierOptions(task_retries=0),
+            )
+        ).start()
+        try:
+            plan = FaultPlan([FaultSpec(kind="crash", key="cursed", attempts=())])
+            with installed(plan):
+                with ServiceClient(port=service.port) as client:
+                    docs = [
+                        client.verify("simple_safe", name="cursed")
+                        for _ in range(3)
+                    ]
+            # Every submission reached a worker (and crashed): no breaker.
+            assert all(d["failure"]["kind"] == "crash" for d in docs)
+            assert service.statistics()["service"]["breaker"] is None
+        finally:
+            service.stop()
+
+
+class TestConfigValidation:
+    def test_bad_quota_and_breaker_values_are_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(quota_rate=0.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(quota_rate=1.0, quota_burst=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(breaker_threshold=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(breaker_cooldown=-1.0)
